@@ -1,0 +1,43 @@
+GO ?= go
+
+.PHONY: all build test race vet cover bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/... ./cmd/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One benchmark per paper figure panel plus ablations and extensions.
+# SPATIALSEL_BENCH_SCALE (default 0.02) scales dataset cardinalities.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate the paper's evaluation tables at a tenth of its cardinalities.
+experiments:
+	$(GO) run ./cmd/experiments -fig all -scale 0.1 -level 9
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/queryplanner
+	$(GO) run ./examples/approxcount
+	$(GO) run ./examples/correlation
+	$(GO) run ./examples/maintenance
+	$(GO) run ./examples/distancejoin
+	$(GO) run ./examples/minidb
+	$(GO) run ./examples/twostep
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's evaluation artifacts as text:
+// the Figure-6 sampling series, the Figure-7 histogram series, and the
+// auxiliary actual-join statistics table, for all four dataset pairs.
+//
+// Usage:
+//
+//	experiments -fig 6 -scale 0.1          # sampling results, all pairs
+//	experiments -fig 7 -scale 0.1 -level 9 # histogram results, all pairs
+//	experiments -fig stats -scale 0.1      # dataset / exact-join statistics
+//	experiments -fig all -scale 0.05
+//
+// Scale multiplies the paper's dataset cardinalities (scale 1 reproduces the
+// full-size evaluation; expect minutes of runtime and gigabytes of memory at
+// that setting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spatialsel/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which artifact to regenerate: 6|7|stats|all")
+	scale := fs.Float64("scale", 0.05, "dataset scale relative to the paper's cardinalities")
+	maxLevel := fs.Int("level", 9, "maximum gridding level for figure 7")
+	seed := fs.Int64("seed", 1, "PRNG seed for RSWR sampling")
+	pair := fs.String("pair", "", "restrict to one pair (TS-TCB|CAS-CAR|SP-SPG|SCRC-SURA)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *fig != "6" && *fig != "7" && *fig != "stats" && *fig != "range" && *fig != "all" {
+		return fmt.Errorf("unknown -fig %q (6|7|stats|range|all)", *fig)
+	}
+	fmt.Fprintf(out, "preparing workloads at scale %g ...\n", *scale)
+	ws, err := experiments.PrepareAll(*scale)
+	if err != nil {
+		return err
+	}
+	if *pair != "" {
+		var filtered []*experiments.Workload
+		for _, w := range ws {
+			if w.Name == *pair {
+				filtered = append(filtered, w)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("unknown pair %q", *pair)
+		}
+		ws = filtered
+	}
+
+	if *fig == "stats" || *fig == "all" {
+		experiments.PrintStats(out, experiments.RunStats(ws))
+		fmt.Fprintln(out)
+	}
+	if *fig == "6" || *fig == "all" {
+		for _, w := range ws {
+			rows, err := experiments.RunFigure6(w, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure6(out, rows)
+			fmt.Fprintln(out)
+		}
+	}
+	if *fig == "7" || *fig == "all" {
+		for _, w := range ws {
+			rows, err := experiments.RunFigure7(w, *maxLevel)
+			if err != nil {
+				return err
+			}
+			experiments.PrintFigure7(out, rows)
+			fmt.Fprintln(out)
+		}
+	}
+	if *fig == "range" || *fig == "all" {
+		for _, w := range ws {
+			rows, err := experiments.RunRangeQueries(w, 6, 25, *seed)
+			if err != nil {
+				return err
+			}
+			experiments.PrintRangeQueries(out, rows)
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllSmallScale(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "all", "-scale", "0.002", "-level", "3", "-pair", "SCRC-SURA"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Actual-join statistics", "Figure 6", "Figure 7", "SCRC-SURA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleFigures(t *testing.T) {
+	for _, fig := range []string{"stats", "7"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-fig", fig, "-scale", "0.002", "-level", "2", "-pair", "SP-SPG"}, &buf); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("fig %s produced no output", fig)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "9"}, &buf); err == nil {
+		t.Error("bad -fig accepted")
+	}
+	if err := run([]string{"-fig", "stats", "-scale", "0.002", "-pair", "NOPE"}, &buf); err == nil {
+		t.Error("bad -pair accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,17 @@
+// Package spatialsel reproduces "Selectivity Estimation for Spatial Joins"
+// (An, Yang, Sivasubramaniam; ICDE 2001) as a complete Go library: the
+// paper's sampling and histogram estimators (including the Geometric
+// Histogram), every substrate its evaluation depends on (R-tree with bulk
+// loading and synchronized-traversal join, plane-sweep and partition joins,
+// Hilbert curve, dataset generators), harnesses regenerating each figure of
+// the evaluation, and the extensions its future-work section calls for
+// (range-query estimation, distance-join power laws, I/O cost models, a
+// mini spatial DBMS with a cost-based planner, and the exact-geometry
+// refinement step).
+//
+// The implementation lives under internal/; see README.md for the map,
+// DESIGN.md for the experiment inventory, and EXPERIMENTS.md for
+// measured-vs-paper results. This root package holds the top-level
+// integration tests and the benchmark suite (one benchmark per figure
+// panel; see bench_test.go).
+package spatialsel

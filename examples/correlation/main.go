@@ -1,0 +1,84 @@
+// Correlation: rank dataset pairs by spatial correlation using join
+// selectivity, the paper's third use case (§1, citing Faloutsos et al.).
+//
+// Join selectivity is a natural correlation score for spatial layers: two
+// layers whose objects co-occur in space join often relative to their sizes,
+// independent layers join at roughly the product of their coverages. This
+// example builds GH histograms for several thematic layers over the same
+// extent and ranks all pairs by estimated selectivity — identifying which
+// layers are spatially related without running a single join, then verifying
+// the ranking exactly.
+//
+// Run with:
+//
+//	go run ./examples/correlation
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"spatialsel/internal/core"
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/histogram"
+	"spatialsel/internal/sweep"
+)
+
+func main() {
+	gh := histogram.MustGH(7)
+
+	// Thematic layers: two co-located around the same city center, one on a
+	// different city, one spread uniformly.
+	layers := []*dataset.Dataset{
+		datagen.Cluster("hospitals", 6000, 0.3, 0.6, 0.07, 0.008, 31),
+		datagen.Cluster("pharmacies", 9000, 0.3, 0.6, 0.08, 0.008, 32),
+		datagen.Cluster("mines", 7000, 0.8, 0.2, 0.05, 0.008, 33),
+		datagen.Uniform("weather-stations", 8000, 0.008, 34),
+	}
+	hists := make(map[string]core.Summary, len(layers))
+	for _, l := range layers {
+		h, err := gh.Build(l)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hists[l.Name] = h
+	}
+
+	type pairScore struct {
+		a, b    *dataset.Dataset
+		estSel  float64
+		trueSel float64
+	}
+	var scores []pairScore
+	for i := 0; i < len(layers); i++ {
+		for j := i + 1; j < len(layers); j++ {
+			a, b := layers[i], layers[j]
+			est, err := gh.Estimate(hists[a.Name], hists[b.Name])
+			if err != nil {
+				log.Fatal(err)
+			}
+			scores = append(scores, pairScore{
+				a: a, b: b,
+				estSel:  est.Selectivity,
+				trueSel: sweep.Selectivity(a.Items, b.Items),
+			})
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].estSel > scores[j].estSel })
+
+	fmt.Printf("%-32s %14s %14s\n", "layer pair", "est. sel.", "actual sel.")
+	for _, s := range scores {
+		fmt.Printf("%-32s %14.3e %14.3e\n", s.a.Name+" ~ "+s.b.Name, s.estSel, s.trueSel)
+	}
+
+	// The top-ranked pair should be the genuinely co-located layers.
+	top := scores[0]
+	if (top.a.Name == "hospitals" && top.b.Name == "pharmacies") ||
+		(top.a.Name == "pharmacies" && top.b.Name == "hospitals") {
+		fmt.Println("\nhistogram ranking identified the co-located layers without executing any join")
+	} else {
+		fmt.Println("\nunexpected top pair — selectivity still ranks spatial co-occurrence")
+	}
+}

@@ -1,0 +1,104 @@
+// Maintenance: keep a Geometric Histogram current under insert/delete churn
+// and watch the estimate track the true selectivity — the property that
+// makes GH usable as live optimizer statistics rather than a periodically
+// rebuilt artifact.
+//
+// The scenario: a "vehicles" table receives a continuous stream of position
+// updates (delete old MBR, insert new MBR) while a static "road hazards"
+// layer sits on the other side of a join. After every batch of updates the
+// example compares three numbers: the estimate from the incrementally
+// maintained histogram, the estimate from a histogram rebuilt from scratch,
+// and the exact join count.
+//
+// Run with:
+//
+//	go run ./examples/maintenance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/histogram"
+	"spatialsel/internal/sweep"
+)
+
+const level = 7
+
+func main() {
+	gh := histogram.MustGH(level)
+	hazards := datagen.Cluster("hazards", 15000, 0.5, 0.5, 0.2, 0.006, 41)
+	hazardHist, err := gh.Build(hazards)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial vehicle fleet.
+	rng := rand.New(rand.NewSource(42))
+	mkVehicle := func(cx, cy float64) geom.Rect {
+		x := math.Max(0, math.Min(0.995, cx+rng.NormFloat64()*0.1))
+		y := math.Max(0, math.Min(0.995, cy+rng.NormFloat64()*0.1))
+		return geom.NewRect(x, y, math.Min(1, x+0.004), math.Min(1, y+0.004))
+	}
+	vehicles := make([]geom.Rect, 20000)
+	for i := range vehicles {
+		vehicles[i] = mkVehicle(0.3, 0.3)
+	}
+
+	live, err := histogram.NewGHBuilder("vehicles", level)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range vehicles {
+		if err := live.Add(v); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("%-8s %12s %12s %12s %14s %14s\n",
+		"batch", "maintained", "rebuilt", "actual", "maint. time", "rebuild time")
+
+	// Traffic drifts toward the hazard cluster over ten batches of 2000
+	// position updates each; the estimates must follow the drift.
+	for batch := 1; batch <= 10; batch++ {
+		drift := 0.3 + 0.02*float64(batch)
+		start := time.Now()
+		for u := 0; u < 2000; u++ {
+			idx := rng.Intn(len(vehicles))
+			if err := live.Remove(vehicles[idx]); err != nil {
+				log.Fatal(err)
+			}
+			vehicles[idx] = mkVehicle(drift, drift)
+			if err := live.Add(vehicles[idx]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		maintained, err := gh.Estimate(live.Summary(), hazardHist)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maintTime := time.Since(start)
+
+		start = time.Now()
+		fresh, err := gh.Build(dataset.New("vehicles", geom.UnitSquare, vehicles))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rebuilt, err := gh.Estimate(fresh, hazardHist)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rebuildTime := time.Since(start)
+
+		actual := sweep.Count(vehicles, hazards.Items)
+		fmt.Printf("%-8d %12.0f %12.0f %12d %14s %14s\n",
+			batch, maintained.PairCount, rebuilt.PairCount, actual, maintTime, rebuildTime)
+	}
+	fmt.Println("\nmaintained and rebuilt estimates agree; maintenance cost covers 2000 updates")
+}

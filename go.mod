@@ -1,0 +1,3 @@
+module spatialsel
+
+go 1.22

@@ -1,0 +1,100 @@
+package datagen
+
+import (
+	"fmt"
+
+	"spatialsel/internal/dataset"
+)
+
+// Paper cardinalities (section 4.1). Scale multiplies these; scale=1
+// reproduces the full-size evaluation, smaller scales keep test and bench
+// runtimes manageable while preserving the distributions.
+const (
+	CardTS   = 194971  // IA/KS/MO/NE streams (polylines)
+	CardTCB  = 556696  // IA/KS/MO/NE census blocks (polygons)
+	CardCAS  = 98451   // California streams (polylines)
+	CardCAR  = 2249727 // California roads (polylines)
+	CardSP   = 62555   // Sequoia points
+	CardSPG  = 79607   // Sequoia polygons
+	CardSCRC = 100000  // synthetic clustered rectangles
+	CardSURA = 100000  // synthetic uniform rectangles
+)
+
+// scaled applies the scale factor with a sane floor so tiny scales still
+// yield statistically meaningful datasets.
+func scaled(card int, scale float64) int {
+	n := int(float64(card) * scale)
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// TS simulates the four-state TIGER stream polylines.
+func TS(scale float64) *dataset.Dataset {
+	return PolylineTrace("TS", scaled(CardTS, scale), 60, 0.004, 101)
+}
+
+// TCB simulates the four-state TIGER census-block polygons.
+func TCB(scale float64) *dataset.Dataset {
+	return PolygonTiling("TCB", scaled(CardTCB, scale), 102)
+}
+
+// CAS simulates the California TIGER stream polylines.
+func CAS(scale float64) *dataset.Dataset {
+	return PolylineTrace("CAS", scaled(CardCAS, scale), 40, 0.005, 103)
+}
+
+// CAR simulates the California TIGER road polylines. Roads are denser and
+// shorter-segmented than streams, so more walks and smaller steps.
+func CAR(scale float64) *dataset.Dataset {
+	return PolylineTrace("CAR", scaled(CardCAR, scale), 250, 0.002, 104)
+}
+
+// SP simulates the Sequoia 2000 point set.
+func SP(scale float64) *dataset.Dataset {
+	return Points("SP", scaled(CardSP, scale), 25, 0.04, 105)
+}
+
+// SPG simulates the Sequoia 2000 polygon set.
+func SPG(scale float64) *dataset.Dataset {
+	return HeavyTailedPolygons("SPG", scaled(CardSPG, scale), 25, 0.06, 0.002, 1.4, 106)
+}
+
+// SCRC is the paper's synthetic clustered dataset: rectangles clustered
+// around (0.4, 0.7) in the unit square.
+func SCRC(scale float64) *dataset.Dataset {
+	return Cluster("SCRC", scaled(CardSCRC, scale), 0.4, 0.7, 0.12, 0.004, 107)
+}
+
+// SURA is the paper's synthetic uniform dataset.
+func SURA(scale float64) *dataset.Dataset {
+	return Uniform("SURA", scaled(CardSURA, scale), 0.004, 108)
+}
+
+// Pair is one of the paper's four evaluated join workloads.
+type Pair struct {
+	Name string
+	A, B *dataset.Dataset
+}
+
+// PaperPairs returns the paper's four dataset pairs at the given scale, in
+// the order they appear in Figures 6 and 7.
+func PaperPairs(scale float64) []Pair {
+	return []Pair{
+		{Name: "TS-TCB", A: TS(scale), B: TCB(scale)},
+		{Name: "CAS-CAR", A: CAS(scale), B: CAR(scale)},
+		{Name: "SP-SPG", A: SP(scale), B: SPG(scale)},
+		{Name: "SCRC-SURA", A: SCRC(scale), B: SURA(scale)},
+	}
+}
+
+// PairByName returns the named paper pair at the given scale.
+func PairByName(name string, scale float64) (Pair, error) {
+	for _, p := range PaperPairs(scale) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Pair{}, fmt.Errorf("datagen: unknown pair %q", name)
+}

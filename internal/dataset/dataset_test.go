@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialsel/internal/geom"
+)
+
+func sample() *Dataset {
+	return New("t", geom.UnitSquare, []geom.Rect{
+		geom.NewRect(0, 0, 0.5, 0.5),
+		geom.NewRect(0.25, 0.25, 0.75, 0.75),
+		geom.NewRect(0.9, 0.9, 1, 1),
+	})
+}
+
+func TestLenAndString(t *testing.T) {
+	d := sample()
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", d.Len())
+	}
+	if s := d.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	c.Items[0] = geom.NewRect(0, 0, 0.1, 0.1)
+	if d.Items[0] == c.Items[0] {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := New("bad-extent", geom.NewRect(0, 0, 0, 1), nil)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-area extent accepted")
+	}
+	bad = New("bad-item", geom.UnitSquare, []geom.Rect{{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}})
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid item accepted")
+	}
+	bad = New("outside", geom.UnitSquare, []geom.Rect{geom.NewRect(0.5, 0.5, 1.5, 1.5)})
+	if err := bad.Validate(); err == nil {
+		t.Error("item outside extent accepted")
+	}
+}
+
+func TestMBR(t *testing.T) {
+	d := sample()
+	m, ok := d.MBR()
+	if !ok || m != geom.NewRect(0, 0, 1, 1) {
+		t.Fatalf("MBR = %v,%v", m, ok)
+	}
+	empty := New("e", geom.UnitSquare, nil)
+	if _, ok := empty.MBR(); ok {
+		t.Fatal("empty dataset reported an MBR")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	extent := geom.NewRect(100, 200, 300, 600)
+	d := New("raw", extent, []geom.Rect{geom.NewRect(100, 200, 200, 400)})
+	n := d.Normalize()
+	if n.Extent != geom.UnitSquare {
+		t.Fatalf("normalized extent = %v", n.Extent)
+	}
+	want := geom.NewRect(0, 0, 0.5, 0.5)
+	if n.Items[0] != want {
+		t.Fatalf("normalized item = %v, want %v", n.Items[0], want)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("normalized dataset invalid: %v", err)
+	}
+	// Degenerate extent: Normalize degrades to Clone.
+	deg := New("deg", geom.NewRect(0, 0, 0, 0), []geom.Rect{{}})
+	if got := deg.Normalize(); got.Extent != deg.Extent {
+		t.Fatal("degenerate Normalize altered extent")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := New("s", geom.UnitSquare, []geom.Rect{
+		geom.NewRect(0, 0, 0.2, 0.1),   // w=0.2 h=0.1 a=0.02
+		geom.NewRect(0.5, 0.5, 0.9, 1), // w=0.4 h=0.5 a=0.20
+	})
+	s := d.ComputeStats()
+	if s.N != 2 {
+		t.Errorf("N = %d", s.N)
+	}
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !approx(s.AvgWidth, 0.3) {
+		t.Errorf("AvgWidth = %g, want 0.3", s.AvgWidth)
+	}
+	if !approx(s.AvgHeight, 0.3) {
+		t.Errorf("AvgHeight = %g, want 0.3", s.AvgHeight)
+	}
+	if !approx(s.Coverage, 0.22) {
+		t.Errorf("Coverage = %g, want 0.22", s.Coverage)
+	}
+	if !approx(s.AvgArea, 0.11) {
+		t.Errorf("AvgArea = %g, want 0.11", s.AvgArea)
+	}
+	if !approx(s.MaxWidth, 0.4) || !approx(s.MaxHeight, 0.5) {
+		t.Errorf("Max = %g/%g", s.MaxWidth, s.MaxHeight)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := New("e", geom.UnitSquare, nil).ComputeStats()
+	if s.N != 0 || s.Coverage != 0 || s.AvgWidth != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestPropNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		items := make([]geom.Rect, 10)
+		for i := range items {
+			x, y := rng.Float64()*0.9, rng.Float64()*0.9
+			items[i] = geom.NewRect(x, y, x+rng.Float64()*0.1, y+rng.Float64()*0.1)
+		}
+		d := New("p", geom.UnitSquare, items)
+		n1 := d.Normalize()
+		n2 := n1.Normalize()
+		for i := range n1.Items {
+			if math.Abs(n1.Items[i].MinX-n2.Items[i].MinX) > 1e-12 ||
+				math.Abs(n1.Items[i].MaxY-n2.Items[i].MaxY) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNormalizePreservesRelativeArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	extent := geom.NewRect(-50, 10, 150, 90)
+	f := func() bool {
+		x := extent.MinX + rng.Float64()*extent.Width()*0.8
+		y := extent.MinY + rng.Float64()*extent.Height()*0.8
+		r := geom.NewRect(x, y, x+rng.Float64()*10, y+rng.Float64()*5)
+		d := New("p", extent, []geom.Rect{r})
+		n := d.Normalize()
+		// area fraction relative to extent must be preserved
+		before := r.Area() / extent.Area()
+		after := n.Items[0].Area() / 1.0
+		return math.Abs(before-after) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+// failingWriter errors after n bytes.
+type failingWriter struct {
+	n    int
+	seen int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.seen+len(p) > w.n {
+		ok := w.n - w.seen
+		if ok < 0 {
+			ok = 0
+		}
+		w.seen = w.n
+		return ok, errDiskFull
+	}
+	w.seen += len(p)
+	return len(p), nil
+}
+
+func TestWritePropagatesErrors(t *testing.T) {
+	items := make([]geom.Rect, 100)
+	for i := range items {
+		items[i] = geom.NewRect(0, 0, 0.5, 0.5)
+	}
+	d := New("a-name-long-enough-to-cross-buffers", geom.UnitSquare, items)
+	for _, cut := range []int{0, 3, 5, 30, 50, 100, 1000} {
+		if err := Write(&failingWriter{n: cut}, d); !errors.Is(err, errDiskFull) {
+			t.Errorf("cut=%d: err = %v, want errDiskFull", cut, err)
+		}
+	}
+	// Plenty of space: success.
+	if err := Write(&failingWriter{n: 1 << 20}, d); err != nil {
+		t.Fatalf("write under generous budget failed: %v", err)
+	}
+}
+
+func TestWriteRejectsOverlongName(t *testing.T) {
+	name := make([]byte, 1<<16)
+	d := New(string(name), geom.UnitSquare, nil)
+	if err := Write(&failingWriter{n: 1 << 20}, d); err == nil {
+		t.Fatal("overlong name accepted")
+	}
+}

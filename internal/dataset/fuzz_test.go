@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+// FuzzRead hammers the SDS1 decoder with arbitrary bytes: it must either
+// return a valid dataset or an error — never panic, never return a dataset
+// violating its own invariants.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid encoding and a few mutations.
+	var buf bytes.Buffer
+	d := New("seed", geom.UnitSquare, []geom.Rect{
+		geom.NewRect(0.1, 0.1, 0.4, 0.4),
+		geom.NewRect(0.5, 0.5, 0.9, 0.8),
+	})
+	if err := Write(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("SDS1"))
+	f.Add(valid[:len(valid)-5])
+	mutated := append([]byte{}, valid...)
+	mutated[10] ^= 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("Read returned invalid dataset: %v", verr)
+		}
+		// A successfully decoded dataset must re-encode and re-decode to the
+		// same contents.
+		var out bytes.Buffer
+		if err := Write(&out, got); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Len() != got.Len() || again.Name != got.Name {
+			t.Fatal("round-trip after fuzz decode changed the dataset")
+		}
+	})
+}

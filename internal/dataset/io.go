@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"spatialsel/internal/geom"
+)
+
+// Binary file format ("SDS1"):
+//
+//	magic    [4]byte  "SDS1"
+//	nameLen  uint16
+//	name     [nameLen]byte (UTF-8)
+//	extent   4 × float64 (MinX, MinY, MaxX, MaxY)
+//	count    uint64
+//	items    count × 4 × float64
+//
+// All numbers little-endian. The format is deliberately trivial: it exists so
+// the CLI can persist generated datasets and histogram builds can be compared
+// across runs, not as an interchange format.
+
+var magic = [4]byte{'S', 'D', 'S', '1'}
+
+// ErrBadFormat is returned when decoding input that is not a valid SDS1
+// stream.
+var ErrBadFormat = errors.New("dataset: bad SDS1 format")
+
+const maxDecodeItems = 1 << 28 // sanity bound: ~8.6 GiB of rectangles
+
+// Write encodes d to w in SDS1 format.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if len(d.Name) > math.MaxUint16 {
+		return fmt.Errorf("dataset: name too long (%d bytes)", len(d.Name))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(d.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(d.Name); err != nil {
+		return err
+	}
+	ext := [4]float64{d.Extent.MinX, d.Extent.MinY, d.Extent.MaxX, d.Extent.MaxY}
+	if err := binary.Write(bw, binary.LittleEndian, ext); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(d.Items))); err != nil {
+		return err
+	}
+	buf := make([]byte, 32)
+	for _, r := range d.Items {
+		binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(r.MinX))
+		binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(r.MinY))
+		binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(r.MaxX))
+		binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(r.MaxY))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read decodes an SDS1 stream.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	var ext [4]float64
+	if err := binary.Read(br, binary.LittleEndian, &ext); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if count > maxDecodeItems {
+		return nil, fmt.Errorf("%w: item count %d exceeds limit", ErrBadFormat, count)
+	}
+	items := make([]geom.Rect, count)
+	buf := make([]byte, 32)
+	for i := range items {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated items: %v", ErrBadFormat, err)
+		}
+		items[i] = geom.Rect{
+			MinX: math.Float64frombits(binary.LittleEndian.Uint64(buf[0:])),
+			MinY: math.Float64frombits(binary.LittleEndian.Uint64(buf[8:])),
+			MaxX: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+			MaxY: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+		}
+	}
+	d := &Dataset{
+		Name:   string(name),
+		Extent: geom.Rect{MinX: ext[0], MinY: ext[1], MaxX: ext[2], MaxY: ext[3]},
+		Items:  items,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	return d, nil
+}
+
+// SaveFile writes d to the named file, creating or truncating it.
+func SaveFile(path string, d *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return Write(f, d)
+}
+
+// LoadFile reads a dataset from the named file.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != d.Name || got.Extent != d.Extent || len(got.Items) != len(d.Items) {
+		t.Fatalf("round-trip header mismatch: %v vs %v", got, d)
+	}
+	for i := range d.Items {
+		if got.Items[i] != d.Items[i] {
+			t.Fatalf("item %d: %v != %v", i, got.Items[i], d.Items[i])
+		}
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	d := New("", geom.UnitSquare, nil)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Len() != 0 || got.Name != "" {
+		t.Fatalf("round-trip = %v", got)
+	}
+}
+
+func TestRoundTripLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := make([]geom.Rect, 10000)
+	for i := range items {
+		x, y := rng.Float64()*0.99, rng.Float64()*0.99
+		items[i] = geom.NewRect(x, y, x+rng.Float64()*(1-x), y+rng.Float64()*(1-y))
+	}
+	d := New("big", geom.UnitSquare, items)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for i := range items {
+		if got.Items[i] != items[i] {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"short magic":      []byte("SD"),
+		"bad magic":        []byte("XXXX...."),
+		"truncated header": append([]byte("SDS1"), 0x05, 0x00, 'a', 'b'),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: err = %v, want ErrBadFormat", name, err)
+		}
+	}
+}
+
+func TestReadRejectsTruncatedItems(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-16] // cut mid-item
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated read err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestReadRejectsInvalidGeometry(t *testing.T) {
+	// Encode a dataset whose item lies outside its declared extent by
+	// tampering after encoding a valid one.
+	d := New("x", geom.NewRect(0, 0, 0.5, 0.5), []geom.Rect{geom.NewRect(0, 0, 0.4, 0.4)})
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// The first item's MaxX float64 begins at: 4 magic + 2 namelen + 1 name +
+	// 32 extent + 8 count + 16 (MinX,MinY) = 63.
+	data := buf.Bytes()
+	for i := 0; i < 8; i++ {
+		data[63+i] = 0xFF // NaN-ish garbage
+	}
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("tampered read err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.sds")
+	d := sample()
+	if err := SaveFile(path, d); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.Name != d.Name || got.Len() != d.Len() {
+		t.Fatalf("file round-trip mismatch: %v", got)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.sds")); err == nil {
+		t.Fatal("LoadFile(missing) succeeded")
+	}
+}

@@ -1,0 +1,196 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spatialsel/internal/geom"
+)
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+func TestKindStrings(t *testing.T) {
+	if KindPoint.String() != "point" || KindPolyline.String() != "polyline" ||
+		KindPolygon.String() != "polygon" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind String")
+	}
+}
+
+func TestConstructorsAndValidate(t *testing.T) {
+	if err := Point(pt(0.5, 0.5)).Validate(); err != nil {
+		t.Errorf("point invalid: %v", err)
+	}
+	if err := Polyline(pt(0, 0), pt(1, 1)).Validate(); err != nil {
+		t.Errorf("polyline invalid: %v", err)
+	}
+	if err := Polygon(pt(0, 0), pt(1, 0), pt(0, 1)).Validate(); err != nil {
+		t.Errorf("polygon invalid: %v", err)
+	}
+	if err := (Geometry{Kind: KindPolygon, Pts: []geom.Point{{}, {}}}).Validate(); err == nil {
+		t.Error("2-vertex polygon accepted")
+	}
+	if err := (Geometry{Kind: Kind(7), Pts: []geom.Point{{}}}).Validate(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := Point(pt(math.NaN(), 0)).Validate(); err == nil {
+		t.Error("NaN vertex accepted")
+	}
+	for _, f := range []func(){
+		func() { Polyline(pt(0, 0)) },
+		func() { Polygon(pt(0, 0), pt(1, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor did not panic on too few vertices")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMBR(t *testing.T) {
+	g := Polyline(pt(0.2, 0.8), pt(0.6, 0.1), pt(0.4, 0.5))
+	if got := g.MBR(); got != geom.NewRect(0.2, 0.1, 0.6, 0.8) {
+		t.Fatalf("MBR = %v", got)
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	tests := []struct {
+		name       string
+		a, b, c, d geom.Point
+		want       bool
+	}{
+		{"crossing", pt(0, 0), pt(1, 1), pt(0, 1), pt(1, 0), true},
+		{"disjoint parallel", pt(0, 0), pt(1, 0), pt(0, 1), pt(1, 1), false},
+		{"T-touch at endpoint", pt(0, 0), pt(1, 0), pt(0.5, 0), pt(0.5, 1), true},
+		{"endpoint to endpoint", pt(0, 0), pt(1, 0), pt(1, 0), pt(2, 1), true},
+		{"collinear overlapping", pt(0, 0), pt(2, 0), pt(1, 0), pt(3, 0), true},
+		{"collinear disjoint", pt(0, 0), pt(1, 0), pt(2, 0), pt(3, 0), false},
+		{"near miss", pt(0, 0), pt(1, 1), pt(0.6, 0.5), pt(1.5, 0.5), false},
+		{"shared line different range", pt(0, 0), pt(0, 1), pt(0, 2), pt(0, 3), false},
+		{"degenerate point on segment", pt(0.5, 0.5), pt(0.5, 0.5), pt(0, 0), pt(1, 1), true},
+		{"degenerate point off segment", pt(0.5, 0.6), pt(0.5, 0.6), pt(0, 0), pt(1, 1), false},
+	}
+	for _, tt := range tests {
+		if got := SegmentsIntersect(tt.a, tt.b, tt.c, tt.d); got != tt.want {
+			t.Errorf("%s: = %v, want %v", tt.name, got, tt.want)
+		}
+		// Symmetry in both segment order and endpoint order.
+		if got := SegmentsIntersect(tt.c, tt.d, tt.a, tt.b); got != tt.want {
+			t.Errorf("%s (swapped): = %v, want %v", tt.name, got, tt.want)
+		}
+		if got := SegmentsIntersect(tt.b, tt.a, tt.d, tt.c); got != tt.want {
+			t.Errorf("%s (reversed): = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	square := Polygon(pt(0, 0), pt(1, 0), pt(1, 1), pt(0, 1))
+	tests := []struct {
+		p    geom.Point
+		want bool
+	}{
+		{pt(0.5, 0.5), true},
+		{pt(0, 0), true},      // vertex
+		{pt(0.5, 0), true},    // edge
+		{pt(1.5, 0.5), false}, // outside right
+		{pt(-0.1, 0.5), false},
+		{pt(0.5, 1.0001), false},
+	}
+	for _, tt := range tests {
+		if got := square.ContainsPoint(tt.p); got != tt.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Concave polygon (a "C" shape): the notch is outside.
+	c := Polygon(pt(0, 0), pt(1, 0), pt(1, 0.2), pt(0.2, 0.2), pt(0.2, 0.8), pt(1, 0.8), pt(1, 1), pt(0, 1))
+	if !c.ContainsPoint(pt(0.1, 0.5)) {
+		t.Error("point in the C's spine reported outside")
+	}
+	if c.ContainsPoint(pt(0.6, 0.5)) {
+		t.Error("point in the C's notch reported inside")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ContainsPoint on polyline did not panic")
+		}
+	}()
+	Polyline(pt(0, 0), pt(1, 1)).ContainsPoint(pt(0, 0))
+}
+
+func TestGeometryIntersects(t *testing.T) {
+	square := Polygon(pt(0.2, 0.2), pt(0.8, 0.2), pt(0.8, 0.8), pt(0.2, 0.8))
+	tests := []struct {
+		name string
+		g, h Geometry
+		want bool
+	}{
+		{"point=point", Point(pt(0.3, 0.3)), Point(pt(0.3, 0.3)), true},
+		{"point≠point", Point(pt(0.3, 0.3)), Point(pt(0.3, 0.30001)), false},
+		{"point on polyline", Point(pt(0.5, 0.5)), Polyline(pt(0, 0), pt(1, 1)), true},
+		{"point off polyline", Point(pt(0.5, 0.6)), Polyline(pt(0, 0), pt(1, 1)), false},
+		{"point in polygon", Point(pt(0.5, 0.5)), square, true},
+		{"point outside polygon", Point(pt(0.9, 0.9)), square, false},
+		{"crossing polylines", Polyline(pt(0, 0), pt(1, 1)), Polyline(pt(0, 1), pt(1, 0)), true},
+		{"separate polylines", Polyline(pt(0, 0), pt(0.2, 0.2)), Polyline(pt(0.8, 0.8), pt(1, 1)), false},
+		{"polyline crossing polygon", Polyline(pt(0, 0.5), pt(1, 0.5)), square, true},
+		{"polyline inside polygon", Polyline(pt(0.3, 0.3), pt(0.7, 0.7)), square, true},
+		{"polyline outside with overlapping MBR", Polyline(pt(0.1, 0.9), pt(0.9, 0.95)), square, false},
+		{"nested polygons", square, Polygon(pt(0.4, 0.4), pt(0.6, 0.4), pt(0.6, 0.6), pt(0.4, 0.6)), true},
+		{"overlapping polygons", square, Polygon(pt(0.7, 0.7), pt(1, 0.7), pt(1, 1), pt(0.7, 1)), true},
+		{"disjoint polygons", square, Polygon(pt(0.85, 0.85), pt(1, 0.85), pt(1, 1), pt(0.85, 1)), false},
+	}
+	for _, tt := range tests {
+		if got := tt.g.Intersects(tt.h); got != tt.want {
+			t.Errorf("%s: = %v, want %v", tt.name, got, tt.want)
+		}
+		if got := tt.h.Intersects(tt.g); got != tt.want {
+			t.Errorf("%s (swapped): = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+// TestPropExactImpliesMBRIntersect: exact intersection implies MBR
+// intersection (the filter step never produces false negatives).
+func TestPropExactImpliesMBRIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	lines := GenPolylines(60, 4, 0.05, 171)
+	polys := GenPolygons(60, 6, 0.05, 172)
+	all := append(append([]Geometry{}, lines...), polys...)
+	f := func() bool {
+		g := all[rng.Intn(len(all))]
+		h := all[rng.Intn(len(all))]
+		if g.Intersects(h) {
+			return g.MBR().Intersects(h.MBR())
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropPolygonPointAgreement cross-checks ContainsPoint against a
+// segment-based winding test via Intersects(Point, …).
+func TestPropPolygonPointAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	polys := GenPolygons(40, 8, 0.2, 174)
+	f := func() bool {
+		g := polys[rng.Intn(len(polys))]
+		p := pt(rng.Float64(), rng.Float64())
+		return g.ContainsPoint(p) == Point(p).Intersects(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

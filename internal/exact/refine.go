@@ -1,0 +1,136 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/rtree"
+)
+
+// Layer is a collection of exact geometries plus the dataset of their MBRs
+// — the two representations the two join steps operate on.
+type Layer struct {
+	Name       string
+	Geometries []Geometry
+	MBRs       *dataset.Dataset
+}
+
+// NewLayer wraps geometries with their MBR dataset.
+func NewLayer(name string, gs []Geometry) (*Layer, error) {
+	items := make([]geom.Rect, len(gs))
+	for i, g := range gs {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("exact: layer %s item %d: %w", name, i, err)
+		}
+		items[i] = g.MBR()
+	}
+	mbr := geom.UnitSquare
+	for _, r := range items {
+		mbr = mbr.Union(r)
+	}
+	return &Layer{Name: name, Geometries: gs, MBRs: dataset.New(name, mbr, items)}, nil
+}
+
+// Pair is one joined pair of geometry indices.
+type Pair struct {
+	A, B int
+}
+
+// JoinResult carries the outcome and accounting of a two-step spatial join.
+type JoinResult struct {
+	// Candidates is the filter-step output size (intersecting MBR pairs).
+	Candidates int
+	// Pairs is the refined result: pairs whose exact geometries intersect.
+	Pairs []Pair
+	// FalseHits = Candidates − len(Pairs).
+	FalseHits int
+}
+
+// FalseHitRatio is the fraction of filter-step candidates discarded by
+// refinement.
+func (r *JoinResult) FalseHitRatio() float64 {
+	if r.Candidates == 0 {
+		return 0
+	}
+	return float64(r.FalseHits) / float64(r.Candidates)
+}
+
+// Join runs the full two-step spatial join between layers: an R-tree join
+// over the MBRs (filter), then exact geometry verification (refinement).
+func Join(a, b *Layer) (*JoinResult, error) {
+	ta, err := rtree.BulkLoadSTR(rtree.ItemsFromRects(a.MBRs.Items))
+	if err != nil {
+		return nil, err
+	}
+	tb, err := rtree.BulkLoadSTR(rtree.ItemsFromRects(b.MBRs.Items))
+	if err != nil {
+		return nil, err
+	}
+	res := &JoinResult{}
+	rtree.JoinFunc(ta, tb, func(i, j int) {
+		res.Candidates++
+		if a.Geometries[i].Intersects(b.Geometries[j]) {
+			res.Pairs = append(res.Pairs, Pair{A: i, B: j})
+		}
+	})
+	res.FalseHits = res.Candidates - len(res.Pairs)
+	return res, nil
+}
+
+// GenPolylines generates n random-walk polyline geometries with the given
+// number of segments each — exact counterparts of datagen.PolylineTrace.
+func GenPolylines(n, segments int, stepLen float64, seed int64) []Geometry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Geometry, n)
+	for i := range out {
+		x, y := rng.Float64(), rng.Float64()
+		dir := rng.Float64() * 2 * math.Pi
+		pts := make([]geom.Point, 0, segments+1)
+		pts = append(pts, geom.Point{X: x, Y: y})
+		for s := 0; s < segments; s++ {
+			dir += rng.NormFloat64() * 0.6
+			x += math.Cos(dir) * stepLen
+			y += math.Sin(dir) * stepLen
+			x = math.Max(0, math.Min(1, x))
+			y = math.Max(0, math.Min(1, y))
+			pts = append(pts, geom.Point{X: x, Y: y})
+		}
+		out[i] = Polyline(pts...)
+	}
+	return out
+}
+
+// GenPolygons generates n random convex polygons (vertices of a jittered
+// circle, angle-sorted so the ring is simple).
+func GenPolygons(n, vertices int, maxRadius float64, seed int64) []Geometry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Geometry, n)
+	for i := range out {
+		cx, cy := rng.Float64(), rng.Float64()
+		r := maxRadius * (0.3 + 0.7*rng.Float64())
+		pts := make([]geom.Point, vertices)
+		for v := 0; v < vertices; v++ {
+			ang := (float64(v) + rng.Float64()*0.8) / float64(vertices) * 2 * math.Pi
+			rad := r * (0.6 + 0.4*rng.Float64())
+			pts[v] = geom.Point{
+				X: math.Max(0, math.Min(1, cx+rad*math.Cos(ang))),
+				Y: math.Max(0, math.Min(1, cy+rad*math.Sin(ang))),
+			}
+		}
+		out[i] = Polygon(pts...)
+	}
+	return out
+}
+
+// GenPoints generates n point geometries.
+func GenPoints(n int, seed int64) []Geometry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Geometry, n)
+	for i := range out {
+		out[i] = Point(geom.Point{X: rng.Float64(), Y: rng.Float64()})
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package exact
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+func TestNewLayer(t *testing.T) {
+	gs := GenPolylines(100, 5, 0.01, 180)
+	l, err := NewLayer("roads", gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MBRs.Len() != 100 || l.MBRs.Name != "roads" {
+		t.Fatalf("layer dataset = %v", l.MBRs)
+	}
+	for i, g := range gs {
+		if l.MBRs.Items[i] != g.MBR() {
+			t.Fatalf("item %d MBR mismatch", i)
+		}
+	}
+	// Invalid geometry rejected.
+	bad := []Geometry{{Kind: KindPolygon, Pts: []geom.Point{{}, {}}}}
+	if _, err := NewLayer("bad", bad); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+// bruteJoin is the reference two-step join, all by exhaustive exact tests.
+func bruteJoin(a, b *Layer) []Pair {
+	var out []Pair
+	for i, g := range a.Geometries {
+		for j, h := range b.Geometries {
+			if g.Intersects(h) {
+				out = append(out, Pair{A: i, B: j})
+			}
+		}
+	}
+	return out
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	less := func(p []Pair) func(i, j int) bool {
+		return func(i, j int) bool {
+			if p[i].A != p[j].A {
+				return p[i].A < p[j].A
+			}
+			return p[i].B < p[j].B
+		}
+	}
+	sort.Slice(a, less(a))
+	sort.Slice(b, less(b))
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJoinMatchesBruteForce(t *testing.T) {
+	roads, err := NewLayer("roads", GenPolylines(300, 6, 0.02, 181))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := NewLayer("zones", GenPolygons(200, 7, 0.04, 182))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Join(roads, zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteJoin(roads, zones)
+	if !pairsEqual(res.Pairs, want) {
+		t.Fatalf("join: got %d pairs, want %d", len(res.Pairs), len(want))
+	}
+	// Accounting invariants.
+	if res.Candidates < len(res.Pairs) {
+		t.Fatalf("candidates %d < results %d", res.Candidates, len(res.Pairs))
+	}
+	if res.FalseHits != res.Candidates-len(res.Pairs) {
+		t.Fatalf("false-hit accounting wrong: %+v", res)
+	}
+	ratio := res.FalseHitRatio()
+	if ratio < 0 || ratio > 1 {
+		t.Fatalf("FalseHitRatio = %g", ratio)
+	}
+	// Thin diagonal objects in boxy MBRs must produce some false hits —
+	// the phenomenon motivating the refinement step.
+	if res.FalseHits == 0 {
+		t.Error("no false hits; filter == refinement is implausible for polylines")
+	}
+}
+
+func TestJoinPointLayers(t *testing.T) {
+	pts, err := NewLayer("pts", GenPoints(500, 183))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := NewLayer("zones", GenPolygons(100, 6, 0.1, 184))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Join(pts, zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pairsEqual(res.Pairs, bruteJoin(pts, zones)) {
+		t.Fatal("point-polygon join mismatch")
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("test setup: empty join")
+	}
+}
+
+func TestFalseHitRatioEmptyJoin(t *testing.T) {
+	a, _ := NewLayer("a", GenPoints(10, 185))
+	r := &JoinResult{}
+	if r.FalseHitRatio() != 0 {
+		t.Fatal("empty ratio nonzero")
+	}
+	_ = a
+}
+
+func TestGenerators(t *testing.T) {
+	for _, g := range GenPolylines(50, 4, 0.01, 186) {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated polyline invalid: %v", err)
+		}
+		if len(g.Pts) != 5 {
+			t.Fatalf("polyline has %d vertices, want 5", len(g.Pts))
+		}
+	}
+	for _, g := range GenPolygons(50, 8, 0.05, 187) {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated polygon invalid: %v", err)
+		}
+		// Convex-by-construction rings must be simple: no two
+		// non-adjacent edges intersect.
+		n := len(g.Pts)
+		for i := 0; i < n; i++ {
+			for j := i + 2; j < n; j++ {
+				if i == 0 && j == n-1 {
+					continue // adjacent through the closing edge
+				}
+				a, b := g.Pts[i], g.Pts[(i+1)%n]
+				c, d := g.Pts[j], g.Pts[(j+1)%n]
+				if SegmentsIntersect(a, b, c, d) {
+					t.Fatalf("self-intersecting ring: edges %d and %d", i, j)
+				}
+			}
+		}
+	}
+	for _, g := range GenPoints(50, 188) {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("generated point invalid: %v", err)
+		}
+		if !geom.UnitSquare.ContainsPoint(g.Pts[0]) {
+			t.Fatal("point outside unit square")
+		}
+	}
+}
+
+func TestPolylineFalseHitsAreGeometric(t *testing.T) {
+	// Hand construction: two diagonal segments whose MBRs overlap but whose
+	// geometries do not.
+	a, _ := NewLayer("a", []Geometry{Polyline(pt(0, 0), pt(0.4, 0.4))})
+	b, _ := NewLayer("b", []Geometry{Polyline(pt(0.05, 0.25), pt(0.25, 0.45))})
+	res, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 1 || len(res.Pairs) != 0 || res.FalseHits != 1 {
+		t.Fatalf("expected pure false hit, got %+v", res)
+	}
+	if math.Abs(res.FalseHitRatio()-1) > 1e-12 {
+		t.Fatalf("ratio = %g, want 1", res.FalseHitRatio())
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/histogram"
+)
+
+// RangeResult is one row of the range-query extension table: one estimator's
+// average and worst relative error over a query workload on one dataset.
+type RangeResult struct {
+	Dataset     string
+	Estimator   string
+	Queries     int
+	AvgErrorPct float64
+	MaxErrorPct float64
+	SpacePct    float64 // estimator bytes relative to the dataset R-tree
+}
+
+// RunRangeQueries evaluates every range-capable estimator — Parametric, PH,
+// GH (all at the given level) and Euler — on nQueries random windows against
+// both datasets of a workload. Windows are uniform in position with sides in
+// [0.02, 0.25], queries whose true result is under 20 items are skipped
+// (relative error on near-empty results reflects quantization, not
+// estimator quality).
+func RunRangeQueries(w *Workload, level, nQueries int, seed int64) ([]RangeResult, error) {
+	var out []RangeResult
+	for _, d := range []*datasetRef{{w.A, w.RTreeBytes / 2}, {w.B, w.RTreeBytes / 2}} {
+		nd := d.data.Normalize()
+
+		type est struct {
+			name  string
+			fn    func(geom.Rect) float64
+			bytes int64
+		}
+		var ests []est
+		if s, err := histogram.NewParametric().Build(nd); err == nil {
+			ps := s.(*histogram.ParametricSummary)
+			ests = append(ests, est{"Parametric", ps.EstimateRange, ps.SizeBytes()})
+		}
+		ph, err := histogram.NewPH(level)
+		if err != nil {
+			return nil, err
+		}
+		if s, err := ph.Build(nd); err == nil {
+			pss := s.(*histogram.PHSummary)
+			ests = append(ests, est{fmt.Sprintf("PH(h=%d)", level), pss.EstimateRange, pss.SizeBytes()})
+		}
+		gh, err := histogram.NewGH(level)
+		if err != nil {
+			return nil, err
+		}
+		if s, err := gh.Build(nd); err == nil {
+			gs := s.(*histogram.GHSummary)
+			ests = append(ests, est{fmt.Sprintf("GH(h=%d)", level), gs.EstimateRange, gs.SizeBytes()})
+		}
+		eu, err := histogram.NewEuler(level)
+		if err != nil {
+			return nil, err
+		}
+		if s, err := eu.Build(nd); err == nil {
+			ests = append(ests, est{fmt.Sprintf("Euler(h=%d)", level), s.EstimateRange, s.SizeBytes()})
+		}
+		// MinSkew with a bucket budget matching the grid level's cell count
+		// at one level coarser, so space is comparable to the others.
+		buckets := 1 << uint(2*(level-1))
+		if buckets < 1 {
+			buckets = 1
+		}
+		ms, err := histogram.NewMinSkew(level, buckets)
+		if err != nil {
+			return nil, err
+		}
+		if s, err := ms.Build(nd); err == nil {
+			ests = append(ests, est{ms.Name(), s.EstimateRange, s.SizeBytes()})
+		}
+
+		rng := rand.New(rand.NewSource(seed))
+		queries := make([]geom.Rect, 0, nQueries)
+		actuals := make([]int, 0, nQueries)
+		for len(queries) < nQueries {
+			x, y := rng.Float64()*0.9, rng.Float64()*0.9
+			side := 0.02 + rng.Float64()*0.23
+			q := geom.NewRect(x, y, math.Min(1, x+side), math.Min(1, y+side))
+			actual := 0
+			for _, r := range nd.Items {
+				if r.Intersects(q) {
+					actual++
+				}
+			}
+			if actual < 20 {
+				continue
+			}
+			queries = append(queries, q)
+			actuals = append(actuals, actual)
+		}
+		for _, e := range ests {
+			var sum, worst float64
+			for i, q := range queries {
+				err := 100 * math.Abs(e.fn(q)-float64(actuals[i])) / float64(actuals[i])
+				sum += err
+				worst = math.Max(worst, err)
+			}
+			out = append(out, RangeResult{
+				Dataset:     d.data.Name,
+				Estimator:   e.name,
+				Queries:     len(queries),
+				AvgErrorPct: sum / float64(len(queries)),
+				MaxErrorPct: worst,
+				SpacePct:    pct(float64(e.bytes), float64(d.rtreeBytes)),
+			})
+		}
+	}
+	return out, nil
+}
+
+type datasetRef struct {
+	data       *dataset.Dataset
+	rtreeBytes int64
+}
+
+// PrintRangeQueries renders the range-query extension table.
+func PrintRangeQueries(w io.Writer, rows []RangeResult) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Range-query estimation (extension)\n")
+	fmt.Fprintf(w, "%-10s %-14s %8s %10s %10s %10s\n",
+		"dataset", "estimator", "queries", "avgErr%", "maxErr%", "space%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-14s %8d %10.2f %10.2f %10.4f\n",
+			r.Dataset, r.Estimator, r.Queries, r.AvgErrorPct, r.MaxErrorPct, r.SpacePct)
+	}
+}

@@ -1,0 +1,37 @@
+package fractal
+
+import (
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/sweep"
+)
+
+// Exact ε-join ground truth used to validate the power-law estimators. Two
+// points are within L∞ distance ε exactly when their ε/2-expanded squares
+// intersect, so the plane-sweep rectangle join computes distance joins
+// directly.
+
+// expand turns points into ε/2 squares.
+func expand(pts []geom.Point, eps float64) []geom.Rect {
+	half := eps / 2
+	out := make([]geom.Rect, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Rect{MinX: p.X - half, MinY: p.Y - half, MaxX: p.X + half, MaxY: p.Y + half}
+	}
+	return out
+}
+
+// EpsSelfJoinCount returns the exact number of distinct point pairs of d
+// within L∞ distance eps.
+func EpsSelfJoinCount(d *dataset.Dataset, eps float64) int {
+	rs := expand(points(d.Normalize()), eps)
+	return sweep.SelfCount(rs)
+}
+
+// EpsCrossJoinCount returns the exact number of (a, b) point pairs within
+// L∞ distance eps.
+func EpsCrossJoinCount(a, b *dataset.Dataset, eps float64) int {
+	ra := expand(points(a.Normalize()), eps)
+	rb := expand(points(b.Normalize()), eps)
+	return sweep.Count(ra, rb)
+}

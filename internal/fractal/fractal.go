@@ -1,0 +1,215 @@
+// Package fractal implements the parametric point-dataset estimators the
+// paper positions its histograms against: the self-join selectivity
+// estimator of Belussi and Faloutsos built on the correlation fractal
+// dimension (paper reference [6]), and the power-law cross-join estimator of
+// Faloutsos, Seeger, Traina and Traina (reference [8]).
+//
+// Both model the pair-count function PC(ε) — the number of point pairs
+// within L∞ distance ε — as a power law K·ε^E whose exponent is measured by
+// box counting: overlay grids of shrinking cell side r and regress
+// log PC_box(r) on log r, where PC_box(r) counts pairs falling in the same
+// grid cell. For a self-join the fitted exponent is the correlation fractal
+// dimension D₂ of the dataset (2 for uniform data, 1 for points on a curve);
+// for a cross join it is the pair-count exponent of the two sets.
+//
+// These estimators are fast and need almost no state, but apply only to
+// point data and only to distance (ε) joins — the restriction the paper's
+// histogram techniques remove.
+package fractal
+
+import (
+	"fmt"
+	"math"
+
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+// MaxLevel bounds the finest box-counting grid (2^MaxLevel cells per axis).
+const MaxLevel = 20
+
+// powerLaw is a fitted PC(ε) = K·ε^E model.
+type powerLaw struct {
+	logK float64 // natural log of K
+	e    float64 // exponent E
+}
+
+func (p powerLaw) eval(eps float64) float64 {
+	if eps <= 0 {
+		return 0
+	}
+	return math.Exp(p.logK + p.e*math.Log(eps))
+}
+
+// fitLine least-squares fits y = a + b·x and returns (a, b).
+func fitLine(xs, ys []float64) (a, b float64, err error) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("fractal: need ≥2 points to fit, have %d", len(xs))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("fractal: degenerate regression (all scales equal)")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	return a, b, nil
+}
+
+// points extracts item centers; the estimators treat every dataset as a
+// point set (for true point datasets the center is the point itself).
+func points(d *dataset.Dataset) []geom.Point {
+	pts := make([]geom.Point, d.Len())
+	for i, r := range d.Items {
+		pts[i] = r.Center()
+	}
+	return pts
+}
+
+// boxKey packs grid coordinates into a map key.
+func boxKey(x, y uint32) uint64 { return uint64(x)<<32 | uint64(y) }
+
+// boxCounts returns the per-cell point counts at grid level l (cell side
+// 2^-l) over the unit square.
+func boxCounts(pts []geom.Point, level int) map[uint64]int {
+	side := float64(uint64(1) << uint(level))
+	cells := make(map[uint64]int)
+	for _, p := range pts {
+		x := uint32(math.Min(math.Max(p.X, 0), 0.999999999) * side)
+		y := uint32(math.Min(math.Max(p.Y, 0), 0.999999999) * side)
+		cells[boxKey(x, y)]++
+	}
+	return cells
+}
+
+// SelfJoin estimates the selectivity of an ε self-join (pairs of distinct
+// points within L∞ distance ε) on one point dataset via the correlation
+// fractal dimension.
+type SelfJoin struct {
+	n   int
+	law powerLaw
+	d2  float64
+}
+
+// NewSelfJoin fits the model using box counting at grid levels
+// [minLevel, maxLevel]. The dataset must be normalized (unit-square extent)
+// and non-trivially sized.
+func NewSelfJoin(d *dataset.Dataset, minLevel, maxLevel int) (*SelfJoin, error) {
+	if err := checkLevels(minLevel, maxLevel); err != nil {
+		return nil, err
+	}
+	if d.Len() < 10 {
+		return nil, fmt.Errorf("fractal: dataset %q too small (%d points)", d.Name, d.Len())
+	}
+	pts := points(d.Normalize())
+	var xs, ys []float64
+	for level := minLevel; level <= maxLevel; level++ {
+		pairs := 0.0
+		for _, c := range boxCounts(pts, level) {
+			pairs += float64(c) * float64(c-1) / 2 // distinct pairs per box
+		}
+		if pairs <= 0 {
+			continue // grid too fine for any co-located pair
+		}
+		r := math.Pow(2, -float64(level))
+		xs = append(xs, math.Log(r))
+		ys = append(ys, math.Log(pairs))
+	}
+	logK, e, err := fitLine(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("fractal: self-join fit: %w", err)
+	}
+	return &SelfJoin{n: d.Len(), law: powerLaw{logK: logK, e: e}, d2: e}, nil
+}
+
+// Dimension returns the fitted correlation fractal dimension D₂.
+func (s *SelfJoin) Dimension() float64 { return s.d2 }
+
+// EstimatePairs returns the predicted number of distinct pairs within L∞
+// distance eps. The fitted law maps a box side r to same-box pairs; two
+// points share a box of side r exactly when their L∞ *diameter* is at most
+// r, so an ε-radius query evaluates the law at 2ε (exact for uniform
+// measures at any dimension, the same convention as [6]).
+func (s *SelfJoin) EstimatePairs(eps float64) float64 { return s.law.eval(2 * eps) }
+
+// EstimateSelectivity normalizes EstimatePairs by the N·(N−1)/2 distinct
+// pairs.
+func (s *SelfJoin) EstimateSelectivity(eps float64) float64 {
+	total := float64(s.n) * float64(s.n-1) / 2
+	if total <= 0 {
+		return 0
+	}
+	return s.EstimatePairs(eps) / total
+}
+
+// CrossJoin estimates the selectivity of an ε join between two point
+// datasets via the cross pair-count power law of [8].
+type CrossJoin struct {
+	na, nb int
+	law    powerLaw
+}
+
+// NewCrossJoin fits the cross power law between two point datasets.
+func NewCrossJoin(a, b *dataset.Dataset, minLevel, maxLevel int) (*CrossJoin, error) {
+	if err := checkLevels(minLevel, maxLevel); err != nil {
+		return nil, err
+	}
+	if a.Len() < 10 || b.Len() < 10 {
+		return nil, fmt.Errorf("fractal: datasets too small (%d, %d points)", a.Len(), b.Len())
+	}
+	pa := points(a.Normalize())
+	pb := points(b.Normalize())
+	var xs, ys []float64
+	for level := minLevel; level <= maxLevel; level++ {
+		ca := boxCounts(pa, level)
+		cb := boxCounts(pb, level)
+		pairs := 0.0
+		for k, n := range ca {
+			if m, ok := cb[k]; ok {
+				pairs += float64(n) * float64(m)
+			}
+		}
+		if pairs <= 0 {
+			continue
+		}
+		r := math.Pow(2, -float64(level))
+		xs = append(xs, math.Log(r))
+		ys = append(ys, math.Log(pairs))
+	}
+	logK, e, err := fitLine(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("fractal: cross-join fit: %w", err)
+	}
+	return &CrossJoin{na: a.Len(), nb: b.Len(), law: powerLaw{logK: logK, e: e}}, nil
+}
+
+// Exponent returns the fitted pair-count exponent.
+func (c *CrossJoin) Exponent() float64 { return c.law.e }
+
+// EstimatePairs returns the predicted number of cross pairs within L∞
+// distance eps (diameter-corrected like SelfJoin.EstimatePairs).
+func (c *CrossJoin) EstimatePairs(eps float64) float64 { return c.law.eval(2 * eps) }
+
+// EstimateSelectivity normalizes EstimatePairs by |A|·|B|.
+func (c *CrossJoin) EstimateSelectivity(eps float64) float64 {
+	total := float64(c.na) * float64(c.nb)
+	if total <= 0 {
+		return 0
+	}
+	return c.EstimatePairs(eps) / total
+}
+
+func checkLevels(minLevel, maxLevel int) error {
+	if minLevel < 1 || maxLevel > MaxLevel || minLevel >= maxLevel {
+		return fmt.Errorf("fractal: invalid level range [%d, %d] (need 1 ≤ min < max ≤ %d)",
+			minLevel, maxLevel, MaxLevel)
+	}
+	return nil
+}

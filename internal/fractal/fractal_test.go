@@ -1,0 +1,242 @@
+package fractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+// linePoints places n points along the main diagonal (a 1-dimensional set).
+func linePoints(n int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]geom.Rect, n)
+	for i := range items {
+		t := rng.Float64()
+		items[i] = geom.Rect{MinX: t, MinY: t, MaxX: t, MaxY: t}
+	}
+	return dataset.New("line", geom.UnitSquare, items)
+}
+
+func TestLevelValidation(t *testing.T) {
+	d := datagen.Points("d", 100, 5, 0.05, 90)
+	cases := [][2]int{{0, 5}, {5, 5}, {6, 2}, {1, MaxLevel + 1}}
+	for _, c := range cases {
+		if _, err := NewSelfJoin(d, c[0], c[1]); err == nil {
+			t.Errorf("SelfJoin accepted levels %v", c)
+		}
+		if _, err := NewCrossJoin(d, d, c[0], c[1]); err == nil {
+			t.Errorf("CrossJoin accepted levels %v", c)
+		}
+	}
+	tiny := datagen.Points("tiny", 5, 1, 0.05, 91)
+	if _, err := NewSelfJoin(tiny, 2, 6); err == nil {
+		t.Error("SelfJoin accepted 5-point dataset")
+	}
+	if _, err := NewCrossJoin(tiny, d, 2, 6); err == nil {
+		t.Error("CrossJoin accepted 5-point dataset")
+	}
+}
+
+func TestCorrelationDimensionUniform(t *testing.T) {
+	d := datagen.Points("u", 20000, 0, 0, 92) // landmarks=0 → pure uniform
+	sj, err := NewSelfJoin(d, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 := sj.Dimension(); math.Abs(d2-2) > 0.3 {
+		t.Errorf("uniform D2 = %.2f, want ≈2", d2)
+	}
+}
+
+func TestCorrelationDimensionLine(t *testing.T) {
+	d := linePoints(20000, 93)
+	sj, err := NewSelfJoin(d, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 := sj.Dimension(); math.Abs(d2-1) > 0.3 {
+		t.Errorf("line D2 = %.2f, want ≈1", d2)
+	}
+}
+
+func TestSelfJoinEstimateBand(t *testing.T) {
+	// The power-law estimate should land within a factor-2 band of the true
+	// ε-join count across a range of ε — the accuracy class [6] reports.
+	d := datagen.Points("u", 10000, 0, 0, 94)
+	sj, err := NewSelfJoin(d, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.005, 0.01, 0.02} {
+		actual := EpsSelfJoinCount(d, eps)
+		if actual == 0 {
+			t.Fatalf("eps=%g: empty true join", eps)
+		}
+		est := sj.EstimatePairs(eps)
+		ratio := est / float64(actual)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("eps=%g: estimate %0.f vs actual %d (ratio %.2f)", eps, est, actual, ratio)
+		}
+	}
+}
+
+func TestSelfJoinMonotoneInEps(t *testing.T) {
+	d := datagen.Points("c", 5000, 8, 0.05, 95)
+	sj, err := NewSelfJoin(d, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, eps := range []float64{0.001, 0.005, 0.01, 0.05} {
+		est := sj.EstimatePairs(eps)
+		if est <= prev {
+			t.Fatalf("estimate not increasing in eps: %g then %g", prev, est)
+		}
+		prev = est
+	}
+	if sj.EstimatePairs(0) != 0 {
+		t.Error("eps=0 estimate nonzero")
+	}
+}
+
+func TestSelfJoinSelectivityNormalization(t *testing.T) {
+	d := datagen.Points("u", 1000, 0, 0, 96)
+	sj, err := NewSelfJoin(d, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := sj.EstimatePairs(0.01)
+	sel := sj.EstimateSelectivity(0.01)
+	want := pairs / (1000 * 999 / 2)
+	if math.Abs(sel-want) > 1e-15 {
+		t.Fatalf("selectivity %g, want %g", sel, want)
+	}
+}
+
+func TestCrossJoinEstimateBand(t *testing.T) {
+	a := datagen.Points("a", 8000, 0, 0, 97)
+	b := datagen.Points("b", 8000, 0, 0, 98)
+	cj, err := NewCrossJoin(a, b, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform × uniform: exponent ≈ 2.
+	if e := cj.Exponent(); math.Abs(e-2) > 0.3 {
+		t.Errorf("uniform cross exponent = %.2f, want ≈2", e)
+	}
+	for _, eps := range []float64{0.01, 0.02} {
+		actual := EpsCrossJoinCount(a, b, eps)
+		if actual == 0 {
+			t.Fatalf("eps=%g: empty true join", eps)
+		}
+		ratio := cj.EstimatePairs(eps) / float64(actual)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("eps=%g: ratio %.2f outside [0.5,2]", eps, ratio)
+		}
+	}
+}
+
+func TestCrossJoinRanksCorrelation(t *testing.T) {
+	// Co-located clusters join far more than disjoint ones at equal ε; the
+	// power-law estimates must preserve that ordering.
+	center := datagen.Cluster("c1", 4000, 0.3, 0.3, 0.05, 0, 99)
+	sameCenter := datagen.Cluster("c2", 4000, 0.3, 0.3, 0.05, 0, 100)
+	farCenter := datagen.Cluster("c3", 4000, 0.8, 0.8, 0.05, 0, 101)
+
+	near, err := NewCrossJoin(center, sameCenter, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint clusters share no boxes at any level — the fit must fail
+	// cleanly rather than fabricate a law.
+	if _, err := NewCrossJoin(center, farCenter, 2, 7); err == nil {
+		t.Log("disjoint clusters produced a fit (boxes overlap at coarse levels); checking ordering instead")
+		far, _ := NewCrossJoin(center, farCenter, 2, 7)
+		if far.EstimatePairs(0.01) >= near.EstimatePairs(0.01) {
+			t.Error("disjoint clusters ranked above co-located ones")
+		}
+	}
+	if near.EstimatePairs(0.01) <= 0 {
+		t.Error("co-located estimate not positive")
+	}
+}
+
+func TestEpsJoinGroundTruth(t *testing.T) {
+	// Hand-checkable configuration.
+	items := []geom.Rect{
+		{MinX: 0.1, MinY: 0.1, MaxX: 0.1, MaxY: 0.1},
+		{MinX: 0.15, MinY: 0.1, MaxX: 0.15, MaxY: 0.1}, // 0.05 from first
+		{MinX: 0.5, MinY: 0.5, MaxX: 0.5, MaxY: 0.5},   // far away
+	}
+	d := dataset.New("d", geom.UnitSquare, items)
+	if got := EpsSelfJoinCount(d, 0.06); got != 1 {
+		t.Errorf("EpsSelfJoinCount(0.06) = %d, want 1", got)
+	}
+	if got := EpsSelfJoinCount(d, 0.04); got != 0 {
+		t.Errorf("EpsSelfJoinCount(0.04) = %d, want 0", got)
+	}
+	if got := EpsSelfJoinCount(d, 1); got != 3 {
+		t.Errorf("EpsSelfJoinCount(1) = %d, want 3", got)
+	}
+	other := dataset.New("o", geom.UnitSquare, []geom.Rect{
+		{MinX: 0.12, MinY: 0.1, MaxX: 0.12, MaxY: 0.1},
+	})
+	// Distances are closed: |0.12−0.10| = 0.02 and |0.15−0.12| = 0.03, so
+	// exactly-ε pairs count.
+	if got := EpsCrossJoinCount(d, other, 0.025); got != 1 {
+		t.Errorf("EpsCrossJoinCount(0.025) = %d, want 1", got)
+	}
+	if got := EpsCrossJoinCount(d, other, 0.03); got != 2 {
+		t.Errorf("EpsCrossJoinCount(0.03) = %d, want 2", got)
+	}
+	if got := EpsCrossJoinCount(d, other, 0.01); got != 0 {
+		t.Errorf("EpsCrossJoinCount(0.01) = %d, want 0", got)
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	// y = 3 + 2x exactly.
+	a, b, err := fitLine([]float64{0, 1, 2, 3}, []float64{3, 5, 7, 9})
+	if err != nil || math.Abs(a-3) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("fitLine = %g, %g, %v", a, b, err)
+	}
+	if _, _, err := fitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single-point fit accepted")
+	}
+	if _, _, err := fitLine([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate fit accepted")
+	}
+	if _, _, err := fitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestPowerLawEval(t *testing.T) {
+	p := powerLaw{logK: math.Log(10), e: 2}
+	if got := p.eval(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("eval(0.5) = %g, want 2.5", got)
+	}
+	if got := p.eval(0); got != 0 {
+		t.Errorf("eval(0) = %g", got)
+	}
+	if got := p.eval(-1); got != 0 {
+		t.Errorf("eval(-1) = %g", got)
+	}
+}
+
+func TestCrossJoinSelectivityNormalization(t *testing.T) {
+	a := datagen.Points("a", 2000, 0, 0, 102)
+	b := datagen.Points("b", 1000, 0, 0, 103)
+	cj, err := NewCrossJoin(a, b, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := cj.EstimatePairs(0.01)
+	if sel := cj.EstimateSelectivity(0.01); math.Abs(sel-pairs/(2000*1000)) > 1e-15 {
+		t.Fatalf("selectivity %g inconsistent with pairs %g", sel, pairs)
+	}
+}

@@ -1,0 +1,43 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"spatialsel/internal/geom"
+)
+
+func ExampleRect_Intersects() {
+	a := geom.NewRect(0, 0, 2, 2)
+	b := geom.NewRect(1, 1, 3, 3)
+	c := geom.NewRect(5, 5, 6, 6)
+	fmt.Println(a.Intersects(b), a.Intersects(c))
+	// Output: true false
+}
+
+func ExampleRect_Intersection() {
+	a := geom.NewRect(0, 0, 2, 2)
+	b := geom.NewRect(1, 1, 3, 3)
+	inter, ok := a.Intersection(b)
+	fmt.Println(inter, ok)
+	// Output: [1,2]x[1,2] true
+}
+
+func ExampleIntersectionPoints() {
+	// Two properly intersecting rectangles always share exactly four
+	// intersection points — the identity the Geometric Histogram rests on.
+	a := geom.NewRect(0, 0, 2, 2)
+	b := geom.NewRect(1, 1, 3, 3)
+	fmt.Println(geom.IntersectionPoints(a, b))
+	// Output: 4
+}
+
+func ExampleClassify() {
+	b := geom.NewRect(4, 4, 8, 8)
+	fmt.Println(geom.Classify(geom.NewRect(2, 2, 5, 5), b))
+	fmt.Println(geom.Classify(geom.NewRect(5, 2, 7, 10), b))
+	fmt.Println(geom.Classify(geom.NewRect(5, 5, 7, 7), b))
+	// Output:
+	// corner-overlap
+	// cross
+	// a-inside-b
+}

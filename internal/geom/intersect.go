@@ -1,0 +1,172 @@
+package geom
+
+// This file implements the geometric observation the Geometric Histogram is
+// built on (paper §3.2, Figure 2): whenever two MBRs intersect, their
+// intersection is a rectangle with exactly four corners ("intersection
+// points"). Each intersection point arises from one of two situations:
+//
+//	(a) a corner point of one MBR falls inside the other MBR, or
+//	(b) a vertical edge of one MBR crosses a horizontal edge of the other.
+//
+// For rectangles in general position (no coinciding edge coordinates),
+//
+//	CornersInside(a,b) + CornersInside(b,a) + Crossings(a,b) + Crossings(b,a) = 4
+//
+// whenever a and b properly intersect, and = 0 when they are disjoint.
+// Dividing the total count of intersection points between two datasets by
+// four therefore yields the join size.
+
+// CornersInside returns the number of corner points of a that lie strictly
+// inside b. Strict containment is used so that the general-position identity
+// above holds; boundary coincidences are measure-zero for the continuous data
+// distributions the estimators assume.
+func CornersInside(a, b Rect) int {
+	n := 0
+	for _, p := range a.Corners() {
+		if b.ContainsPointOpen(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Crossings returns the number of points at which a vertical edge of a
+// strictly crosses a horizontal edge of b. Each of a's two vertical edges is
+// the segment x ∈ {a.MinX, a.MaxX}, y ∈ [a.MinY, a.MaxY]; each of b's two
+// horizontal edges is y ∈ {b.MinY, b.MaxY}, x ∈ [b.MinX, b.MaxX]. A strict
+// crossing requires the vertical line's x to lie strictly inside b's x-range
+// and the horizontal line's y to lie strictly inside a's y-range.
+func Crossings(a, b Rect) int {
+	n := 0
+	for _, x := range [2]float64{a.MinX, a.MaxX} {
+		if !(b.MinX < x && x < b.MaxX) {
+			continue
+		}
+		for _, y := range [2]float64{b.MinY, b.MaxY} {
+			if a.MinY < y && y < a.MaxY {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// IntersectionPoints returns the total number of intersection points between
+// a and b: corners of either rectangle inside the other plus edge crossings
+// in both orientations. For properly intersecting rectangles in general
+// position this is exactly 4; for disjoint rectangles it is 0.
+func IntersectionPoints(a, b Rect) int {
+	return CornersInside(a, b) + CornersInside(b, a) + Crossings(a, b) + Crossings(b, a)
+}
+
+// IntersectionCase identifies one of the twelve qualitative configurations of
+// two properly intersecting rectangles shown in Figure 2 of the paper, plus
+// sentinel values for disjoint and degenerate (non-general-position) pairs.
+type IntersectionCase int
+
+// The twelve Figure-2 cases, grouped by signature. Cases 1–4 are the four
+// corner-overlap orientations (one corner of each rectangle inside the
+// other); cases 5–6 are the two "plus-sign" crossing orientations (no corners
+// inside, four edge crossings); cases 7–10 are the four pass-through
+// orientations (two corners of one rectangle inside the other); cases 11–12
+// are containment in either direction (four corners inside).
+const (
+	CaseDisjoint   IntersectionCase = 0
+	CaseCornerNE   IntersectionCase = 1 // a's top-right corner in b
+	CaseCornerNW   IntersectionCase = 2 // a's top-left corner in b
+	CaseCornerSW   IntersectionCase = 3 // a's bottom-left corner in b
+	CaseCornerSE   IntersectionCase = 4 // a's bottom-right corner in b
+	CaseCrossAVert IntersectionCase = 5 // a is the vertical bar of the plus
+	CaseCrossAHorz IntersectionCase = 6 // a is the horizontal bar of the plus
+	CaseAEnterLeft IntersectionCase = 7 // a pokes into b from the left
+	CaseAEnterRght IntersectionCase = 8 // a pokes into b from the right
+	CaseAEnterBot  IntersectionCase = 9 // a pokes into b from below
+	CaseAEnterTop  IntersectionCase = 10
+	CaseAInsideB   IntersectionCase = 11
+	CaseBInsideA   IntersectionCase = 12
+	// CaseDegenerate marks pairs that intersect but share an edge coordinate,
+	// so they do not match any general-position case.
+	CaseDegenerate IntersectionCase = -1
+)
+
+// String implements fmt.Stringer.
+func (c IntersectionCase) String() string {
+	switch c {
+	case CaseDisjoint:
+		return "disjoint"
+	case CaseCornerNE, CaseCornerNW, CaseCornerSW, CaseCornerSE:
+		return "corner-overlap"
+	case CaseCrossAVert, CaseCrossAHorz:
+		return "cross"
+	case CaseAEnterLeft, CaseAEnterRght, CaseAEnterBot, CaseAEnterTop:
+		return "pass-through"
+	case CaseAInsideB:
+		return "a-inside-b"
+	case CaseBInsideA:
+		return "b-inside-a"
+	case CaseDegenerate:
+		return "degenerate"
+	}
+	return "unknown"
+}
+
+// Classify determines which Figure-2 configuration the pair (a, b) is in.
+func Classify(a, b Rect) IntersectionCase {
+	if !a.Intersects(b) {
+		return CaseDisjoint
+	}
+	ain := CornersInside(a, b)
+	bin := CornersInside(b, a)
+	cross := Crossings(a, b) + Crossings(b, a)
+	switch {
+	case ain == 4 && bin == 0 && cross == 0:
+		return CaseAInsideB
+	case bin == 4 && ain == 0 && cross == 0:
+		return CaseBInsideA
+	case ain == 0 && bin == 0 && cross == 4:
+		// The vertical bar of the plus is the rectangle whose x-range is
+		// inside the other's.
+		if b.MinX < a.MinX && a.MaxX < b.MaxX {
+			return CaseCrossAVert
+		}
+		return CaseCrossAHorz
+	case ain == 2 && bin == 0 && cross == 2:
+		switch {
+		case a.MinX < b.MinX: // a extends past b's left edge
+			return CaseAEnterLeft
+		case a.MaxX > b.MaxX:
+			return CaseAEnterRght
+		case a.MinY < b.MinY:
+			return CaseAEnterBot
+		default:
+			return CaseAEnterTop
+		}
+	case ain == 0 && bin == 2 && cross == 2:
+		// Symmetric pass-through: report from a's perspective by flipping.
+		switch Classify(b, a) {
+		case CaseAEnterLeft:
+			return CaseAEnterRght
+		case CaseAEnterRght:
+			return CaseAEnterLeft
+		case CaseAEnterBot:
+			return CaseAEnterTop
+		case CaseAEnterTop:
+			return CaseAEnterBot
+		}
+		return CaseDegenerate
+	case ain == 1 && bin == 1 && cross == 2:
+		// Identify which corner of a is inside b.
+		corners := a.Corners()
+		switch {
+		case b.ContainsPointOpen(corners[2]):
+			return CaseCornerNE
+		case b.ContainsPointOpen(corners[3]):
+			return CaseCornerNW
+		case b.ContainsPointOpen(corners[0]):
+			return CaseCornerSW
+		default:
+			return CaseCornerSE
+		}
+	}
+	return CaseDegenerate
+}

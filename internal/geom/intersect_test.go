@@ -1,0 +1,224 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The canonical Figure-2 configurations. b is fixed; a varies.
+var figure2B = NewRect(4, 4, 8, 8)
+
+var figure2Cases = []struct {
+	name string
+	a    Rect
+	want IntersectionCase
+	// expected counts (cornersAinB, cornersBinA, crossings total)
+	ain, bin, cross int
+}{
+	{"corner NE", NewRect(2, 2, 5, 5), CaseCornerNE, 1, 1, 2},
+	{"corner NW", NewRect(7, 2, 10, 5), CaseCornerNW, 1, 1, 2},
+	{"corner SW", NewRect(7, 7, 10, 10), CaseCornerSW, 1, 1, 2},
+	{"corner SE", NewRect(2, 7, 5, 10), CaseCornerSE, 1, 1, 2},
+	{"cross a vertical", NewRect(5, 2, 7, 10), CaseCrossAVert, 0, 0, 4},
+	{"cross a horizontal", NewRect(2, 5, 10, 7), CaseCrossAHorz, 0, 0, 4},
+	{"a enters from left", NewRect(2, 5, 6, 7), CaseAEnterLeft, 2, 0, 2},
+	{"a enters from right", NewRect(6, 5, 10, 7), CaseAEnterRght, 2, 0, 2},
+	{"a enters from below", NewRect(5, 2, 7, 6), CaseAEnterBot, 2, 0, 2},
+	{"a enters from above", NewRect(5, 6, 7, 10), CaseAEnterTop, 2, 0, 2},
+	{"a inside b", NewRect(5, 5, 7, 7), CaseAInsideB, 4, 0, 0},
+	{"b inside a", NewRect(2, 2, 10, 10), CaseBInsideA, 0, 4, 0},
+}
+
+func TestFigure2Taxonomy(t *testing.T) {
+	for _, tt := range figure2Cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CornersInside(tt.a, figure2B); got != tt.ain {
+				t.Errorf("CornersInside(a,b) = %d, want %d", got, tt.ain)
+			}
+			if got := CornersInside(figure2B, tt.a); got != tt.bin {
+				t.Errorf("CornersInside(b,a) = %d, want %d", got, tt.bin)
+			}
+			if got := Crossings(tt.a, figure2B) + Crossings(figure2B, tt.a); got != tt.cross {
+				t.Errorf("total crossings = %d, want %d", got, tt.cross)
+			}
+			if got := IntersectionPoints(tt.a, figure2B); got != 4 {
+				t.Errorf("IntersectionPoints = %d, want 4", got)
+			}
+			if got := Classify(tt.a, figure2B); got != tt.want {
+				t.Errorf("Classify = %v (%d), want %v (%d)", got, got, tt.want, tt.want)
+			}
+		})
+	}
+}
+
+func TestFigure2SymmetricPassThrough(t *testing.T) {
+	// When b pokes into a, classification is still reported from a's view.
+	a := NewRect(4, 4, 8, 8)
+	b := NewRect(2, 5, 6, 7) // b enters a from the left → a "enters" b from the right
+	if got := Classify(a, b); got != CaseAEnterRght {
+		t.Fatalf("Classify = %v, want CaseAEnterRght", got)
+	}
+}
+
+func TestDisjointAndDegenerate(t *testing.T) {
+	a := NewRect(0, 0, 1, 1)
+	if got := Classify(a, NewRect(2, 2, 3, 3)); got != CaseDisjoint {
+		t.Errorf("disjoint: Classify = %v", got)
+	}
+	if got := IntersectionPoints(a, NewRect(2, 2, 3, 3)); got != 0 {
+		t.Errorf("disjoint: IntersectionPoints = %d, want 0", got)
+	}
+	// Sharing an edge is degenerate (measure zero in continuous data).
+	if got := Classify(a, NewRect(1, 0, 2, 1)); got != CaseDegenerate {
+		t.Errorf("edge-sharing: Classify = %v, want degenerate", got)
+	}
+	// Identical rectangles are also degenerate.
+	if got := Classify(a, a); got != CaseDegenerate {
+		t.Errorf("identical: Classify = %v, want degenerate", got)
+	}
+}
+
+func TestCaseStrings(t *testing.T) {
+	tests := map[IntersectionCase]string{
+		CaseDisjoint:         "disjoint",
+		CaseCornerNE:         "corner-overlap",
+		CaseCrossAVert:       "cross",
+		CaseAEnterTop:        "pass-through",
+		CaseAInsideB:         "a-inside-b",
+		CaseBInsideA:         "b-inside-a",
+		CaseDegenerate:       "degenerate",
+		IntersectionCase(99): "unknown",
+	}
+	for c, want := range tests {
+		if got := c.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+// generalPositionPair produces two rectangles with all eight edge
+// coordinates distinct, guaranteeing general position.
+func generalPositionPair(rng *rand.Rand) (Rect, Rect) {
+	for {
+		coords := map[float64]bool{}
+		vals := make([]float64, 8)
+		ok := true
+		for i := range vals {
+			v := rng.Float64()
+			if coords[v] {
+				ok = false
+				break
+			}
+			coords[v] = true
+			vals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		return NewRect(vals[0], vals[1], vals[2], vals[3]),
+			NewRect(vals[4], vals[5], vals[6], vals[7])
+	}
+}
+
+// TestPropFourIntersectionPoints verifies the core identity of §3.2: every
+// properly intersecting pair in general position has exactly four
+// intersection points, and every disjoint pair has zero.
+func TestPropFourIntersectionPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b := generalPositionPair(rng)
+		n := IntersectionPoints(a, b)
+		if a.IntersectsOpen(b) {
+			return n == 4
+		}
+		return n == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropClassifyTotal verifies Classify assigns every general-position
+// intersecting pair one of the twelve cases (never degenerate), and that the
+// case signature is consistent with the counting functions.
+func TestPropClassifyTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := func() bool {
+		a, b := generalPositionPair(rng)
+		c := Classify(a, b)
+		if !a.IntersectsOpen(b) {
+			// Touching is impossible in general position, so non-overlap
+			// means disjoint.
+			return c == CaseDisjoint
+		}
+		return c >= CaseCornerNE && c <= CaseBInsideA
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropIntersectionPointsSymmetric verifies the count is symmetric in its
+// arguments.
+func TestPropIntersectionPointsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	f := func() bool {
+		a, b := generalPositionPair(rng)
+		return IntersectionPoints(a, b) == IntersectionPoints(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCornersMatchIntersectionCorners cross-checks the corner count
+// against a direct computation on the intersection rectangle: each corner of
+// the intersection of two open-intersecting rectangles is either a corner of
+// a inside b, a corner of b inside a, or an edge crossing.
+func TestPropCornersMatchIntersectionCorners(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	f := func() bool {
+		a, b := generalPositionPair(rng)
+		if !a.IntersectsOpen(b) {
+			return true
+		}
+		inter, ok := a.Intersection(b)
+		if !ok || inter.Area() <= 0 {
+			return false
+		}
+		// Each of the 4 corners of inter must be accounted for exactly once.
+		accounted := 0
+		for _, p := range inter.Corners() {
+			isCornerA := false
+			for _, q := range a.Corners() {
+				if p == q {
+					isCornerA = true
+				}
+			}
+			isCornerB := false
+			for _, q := range b.Corners() {
+				if p == q {
+					isCornerB = true
+				}
+			}
+			if isCornerA || isCornerB {
+				accounted++
+			} else {
+				// Must be an edge crossing: p lies on a vertical edge of one
+				// rect and a horizontal edge of the other.
+				onVertA := (p.X == a.MinX || p.X == a.MaxX)
+				onVertB := (p.X == b.MinX || p.X == b.MaxX)
+				onHorzA := (p.Y == a.MinY || p.Y == a.MaxY)
+				onHorzB := (p.Y == b.MinY || p.Y == b.MaxY)
+				if (onVertA && onHorzB) || (onVertB && onHorzA) {
+					accounted++
+				}
+			}
+		}
+		return accounted == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+func TestNewEulerValidation(t *testing.T) {
+	if _, err := NewEuler(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+	e := MustEuler(4)
+	if e.Level() != 4 || e.Name() != "Euler(h=4)" {
+		t.Fatalf("Euler = %d/%q", e.Level(), e.Name())
+	}
+}
+
+func TestMustEulerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEuler did not panic")
+		}
+	}()
+	MustEuler(MaxLevel + 1)
+}
+
+// TestEulerExactOnAlignedWindows is the structure's defining property: for
+// ANY dataset and ANY grid-aligned window, the count is exact.
+func TestEulerExactOnAlignedWindows(t *testing.T) {
+	datasets := []*dataset.Dataset{
+		datagen.Uniform("u", 3000, 0.05, 140),
+		datagen.Cluster("c", 3000, 0.3, 0.7, 0.1, 0.08, 141), // large, block-spanning items
+		datagen.PolylineTrace("p", 3000, 30, 0.01, 142),
+		datagen.Points("pt", 2000, 10, 0.05, 143),
+	}
+	for _, d := range datasets {
+		for _, level := range []int{1, 3, 5} {
+			e := MustEuler(level)
+			s, err := e.Build(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := MustGrid(level)
+			rng := rand.New(rand.NewSource(int64(level) * 17))
+			for trial := 0; trial < 25; trial++ {
+				i0 := rng.Intn(g.Side())
+				j0 := rng.Intn(g.Side())
+				i1 := i0 + rng.Intn(g.Side()-i0)
+				j1 := j0 + rng.Intn(g.Side()-j0)
+				window := g.CellRect(i0, j0).Union(g.CellRect(i1, j1))
+				want := 0
+				for _, r := range d.Items {
+					if r.Intersects(window) {
+						want++
+					}
+				}
+				if got := s.CountAligned(i0, i1, j0, j1); got != want {
+					t.Fatalf("%s level %d block (%d,%d)-(%d,%d): got %d, want %d",
+						d.Name, level, i0, j0, i1, j1, got, want)
+				}
+				// EstimateRange on the aligned window is also exact.
+				if got := s.EstimateRange(window); math.Abs(got-float64(want)) > 1e-9 {
+					t.Fatalf("%s level %d aligned EstimateRange = %g, want %d",
+						d.Name, level, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Caveat to the exactness guarantee: items and windows sharing exact cell
+// boundaries are attributed by the half-open convention, so "aligned-exact"
+// means exact w.r.t. cell membership, which matches geometric intersection
+// whenever no item edge lies exactly on a window edge. The generators above
+// produce no such coincidences.
+
+func TestEulerFullAndEmptyWindows(t *testing.T) {
+	d := datagen.Uniform("u", 1000, 0.02, 144)
+	s, _ := MustEuler(4).Build(d)
+	if got := s.CountAligned(0, 15, 0, 15); got != 1000 {
+		t.Fatalf("full-grid count = %d", got)
+	}
+	if got := s.EstimateRange(geom.UnitSquare); got != 1000 {
+		t.Fatalf("full EstimateRange = %g", got)
+	}
+	if got := s.EstimateRange(geom.NewRect(3, 3, 4, 4)); got != 0 {
+		t.Fatalf("outside EstimateRange = %g", got)
+	}
+	// Inverted/degenerate blocks are empty, clamping applies.
+	if got := s.CountAligned(5, 3, 0, 0); got != 0 {
+		t.Fatalf("inverted block = %d", got)
+	}
+	if got := s.CountAligned(-10, 100, -10, 100); got != 1000 {
+		t.Fatalf("clamped block = %d", got)
+	}
+}
+
+func TestEulerUnalignedInterpolation(t *testing.T) {
+	d := datagen.Uniform("u", 8000, 0.01, 145)
+	s, _ := MustEuler(5).Build(d)
+	var sumErr float64
+	n := 0
+	rng := rand.New(rand.NewSource(146))
+	for trial := 0; trial < 40; trial++ {
+		x, y := rng.Float64()*0.7, rng.Float64()*0.7
+		q := geom.NewRect(x, y, x+0.05+rng.Float64()*0.2, y+0.05+rng.Float64()*0.2)
+		want := 0
+		for _, r := range d.Items {
+			if r.Intersects(q) {
+				want++
+			}
+		}
+		if want < 30 {
+			continue
+		}
+		got := s.EstimateRange(q)
+		sumErr += 100 * math.Abs(got-float64(want)) / float64(want)
+		n++
+	}
+	if avg := sumErr / float64(n); avg > 10 {
+		t.Errorf("unaligned avg error %.1f%%, want <10%%", avg)
+	}
+}
+
+func TestEulerSummaryAccessors(t *testing.T) {
+	d := datagen.Uniform("named", 500, 0.02, 147)
+	s, _ := MustEuler(3).Build(d)
+	if s.DatasetName() != "named" || s.ItemCount() != 500 || s.Level() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	// side=8: faces 64, edgesV 7*8=56, edgesH 8*7=56, verts 49 → 225 int32.
+	if want := int64(225)*4 + 24; s.SizeBytes() != want {
+		t.Fatalf("SizeBytes = %d, want %d", s.SizeBytes(), want)
+	}
+}
+
+func TestEulerLevelZero(t *testing.T) {
+	// A level-0 histogram has one face and no edges/vertices: every count
+	// collapses to N for any window touching the square.
+	d := datagen.Uniform("u", 300, 0.02, 148)
+	s, err := MustEuler(0).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.CountAligned(0, 0, 0, 0); got != 300 {
+		t.Fatalf("level-0 count = %d", got)
+	}
+}
+
+// TestPropEulerIdentity verifies the per-object Euler identity the structure
+// rests on: for each single-object histogram, F − E + V = 1.
+func TestPropEulerIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	e := MustEuler(4)
+	f := func() bool {
+		x, y := rng.Float64()*0.95, rng.Float64()*0.95
+		r := geom.NewRect(x, y, math.Min(1, x+rng.Float64()*0.5), math.Min(1, y+rng.Float64()*0.5))
+		d := dataset.New("one", geom.UnitSquare, []geom.Rect{r})
+		s, err := e.Build(d)
+		if err != nil {
+			return false
+		}
+		var fsum, esum, vsum int64
+		for _, v := range s.faces {
+			fsum += int64(v)
+		}
+		for _, v := range s.edgesV {
+			esum += int64(v)
+		}
+		for _, v := range s.edgesH {
+			esum += int64(v)
+		}
+		for _, v := range s.verts {
+			vsum += int64(v)
+		}
+		return fsum-esum+vsum == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEulerVsGHOnAlignedWindows: Euler is exact where GH is approximate —
+// the reason to keep both.
+func TestEulerVsGHOnAlignedWindows(t *testing.T) {
+	d := datagen.Cluster("c", 5000, 0.4, 0.4, 0.1, 0.05, 150)
+	level := 4
+	eu, _ := MustEuler(level).Build(d)
+	ghRaw, _ := MustGH(level).Build(d)
+	gh := ghRaw.(*GHSummary)
+	g := MustGrid(level)
+	window := g.CellRect(4, 4).Union(g.CellRect(9, 9))
+	want := 0
+	for _, r := range d.Items {
+		if r.Intersects(window) {
+			want++
+		}
+	}
+	if got := eu.EstimateRange(window); got != float64(want) {
+		t.Fatalf("Euler aligned = %g, want %d exactly", got, want)
+	}
+	if got := gh.EstimateRange(window); got == float64(want) {
+		t.Logf("GH happened to be exact too (%g) — fine but not guaranteed", got)
+	}
+}

@@ -1,0 +1,47 @@
+package histogram_test
+
+import (
+	"fmt"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/histogram"
+)
+
+func ExampleGH() {
+	// Build level-5 Geometric Histograms for two datasets and estimate
+	// their join selectivity without running the join.
+	a := datagen.Cluster("a", 10000, 0.4, 0.7, 0.1, 0.005, 1)
+	b := datagen.Uniform("b", 10000, 0.005, 2)
+
+	gh := histogram.MustGH(5)
+	sa, _ := gh.Build(a)
+	sb, _ := gh.Build(b)
+	est, _ := gh.Estimate(sa, sb)
+	fmt.Printf("estimated pairs within 10%% of the true 2539: %v\n",
+		est.PairCount > 2539*0.9 && est.PairCount < 2539*1.1)
+	// Output: estimated pairs within 10% of the true 2539: true
+}
+
+func ExampleGHSummary_EstimateRange() {
+	d := datagen.Uniform("d", 10000, 0.005, 3)
+	s, _ := histogram.MustGH(6).Build(d)
+	gh := s.(*histogram.GHSummary)
+	// Expected items intersecting a quarter-extent window: about a quarter
+	// of the dataset.
+	est := gh.EstimateRange(geom.NewRect(0, 0, 0.5, 0.5))
+	fmt.Printf("plausible quarter-window count: %v\n", est > 2300 && est < 2800)
+	// Output: plausible quarter-window count: true
+}
+
+func ExampleGHBuilder() {
+	// Maintain a histogram incrementally: add two items, remove one.
+	b, _ := histogram.NewGHBuilder("live", 4)
+	r1 := geom.NewRect(0.1, 0.1, 0.2, 0.2)
+	r2 := geom.NewRect(0.6, 0.6, 0.7, 0.7)
+	_ = b.Add(r1)
+	_ = b.Add(r2)
+	_ = b.Remove(r1)
+	fmt.Println(b.Len(), b.Summary().ItemCount())
+	// Output: 1 1
+}

@@ -1,0 +1,86 @@
+package histogram
+
+import (
+	"errors"
+	"testing"
+
+	"spatialsel/internal/core"
+	"spatialsel/internal/datagen"
+)
+
+// failingWriter errors after n bytes, exercising every write path's error
+// propagation.
+type failingWriter struct {
+	n    int
+	seen int
+}
+
+var errDiskFull = errors.New("disk full")
+
+// countingWriter records how many bytes a full encoding needs.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.seen+len(p) > w.n {
+		ok := w.n - w.seen
+		if ok < 0 {
+			ok = 0
+		}
+		w.seen = w.n
+		return ok, errDiskFull
+	}
+	w.seen += len(p)
+	return len(p), nil
+}
+
+func TestWriteSummaryPropagatesWriteErrors(t *testing.T) {
+	d := datagen.Uniform("a-reasonably-long-dataset-name", 200, 0.02, 160)
+	summaries := []core.Summary{}
+	if s, err := NewParametric().Build(d); err == nil {
+		summaries = append(summaries, s)
+	}
+	if s, err := MustPH(3).Build(d); err == nil {
+		summaries = append(summaries, s)
+	}
+	if s, err := MustGH(3).Build(d); err == nil {
+		summaries = append(summaries, s)
+	}
+	if s, err := MustBasicGH(3).Build(d); err == nil {
+		summaries = append(summaries, s)
+	}
+	if s, err := MustEuler(3).Build(d); err == nil {
+		summaries = append(summaries, s)
+	}
+	if len(summaries) != 5 {
+		t.Fatalf("built %d summaries", len(summaries))
+	}
+	// Fail at a spread of offsets covering magic, header, name, and payload.
+	for _, s := range summaries {
+		full := &countingWriter{}
+		if err := WriteSummary(full, s); err != nil {
+			t.Fatalf("%T: reference encode failed: %v", s, err)
+		}
+		for _, cut := range []int{0, 2, 5, 9, 20, 60, 300} {
+			if cut >= full.n {
+				continue // the whole encoding fits before the failure point
+			}
+			err := WriteSummary(&failingWriter{n: cut}, s)
+			if !errors.Is(err, errDiskFull) {
+				t.Errorf("%T cut=%d: err = %v, want errDiskFull", s, cut, err)
+			}
+		}
+	}
+}
+
+func TestWriteSummaryLargeCutSucceeds(t *testing.T) {
+	d := datagen.Uniform("d", 50, 0.02, 161)
+	s, _ := MustGH(2).Build(d)
+	if err := WriteSummary(&failingWriter{n: 1 << 20}, s); err != nil {
+		t.Fatalf("write under generous budget failed: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package histogram
+
+import (
+	"bytes"
+	"testing"
+
+	"spatialsel/internal/datagen"
+)
+
+// FuzzReadSummary hammers the SHF1 decoder with arbitrary bytes: it must
+// either return a usable summary or an error — never panic.
+func FuzzReadSummary(f *testing.F) {
+	d := datagen.Uniform("seed", 50, 0.02, 190)
+	for _, build := range []func() ([]byte, error){
+		func() ([]byte, error) {
+			s, err := MustGH(2).Build(d)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = WriteSummary(&buf, s)
+			return buf.Bytes(), err
+		},
+		func() ([]byte, error) {
+			s, err := MustPH(2).Build(d)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = WriteSummary(&buf, s)
+			return buf.Bytes(), err
+		},
+		func() ([]byte, error) {
+			s, err := MustEuler(2).Build(d)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			err = WriteSummary(&buf, s)
+			return buf.Bytes(), err
+		},
+	} {
+		data, err := build()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		mutated := append([]byte{}, data...)
+		mutated[4] = 0xFF // kind byte
+		f.Add(mutated)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SHF1"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSummary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded summaries must survive re-encoding.
+		var out bytes.Buffer
+		if err := WriteSummary(&out, s); err != nil {
+			t.Fatalf("re-encode of decoded summary failed: %v", err)
+		}
+		if _, err := ReadSummary(&out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

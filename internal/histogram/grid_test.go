@@ -1,0 +1,170 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spatialsel/internal/geom"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := NewGrid(MaxLevel + 1); err == nil {
+		t.Error("excess level accepted")
+	}
+	g, err := NewGrid(3)
+	if err != nil {
+		t.Fatalf("NewGrid(3): %v", err)
+	}
+	if g.Level() != 3 || g.Side() != 8 || g.Cells() != 64 {
+		t.Fatalf("grid = %+v", g)
+	}
+	if g.CellWidth() != 0.125 || g.CellHeight() != 0.125 {
+		t.Fatalf("cell dims = %g/%g", g.CellWidth(), g.CellHeight())
+	}
+	if math.Abs(g.CellArea()-0.015625) > 1e-15 {
+		t.Fatalf("cell area = %g", g.CellArea())
+	}
+}
+
+func TestMustGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustGrid did not panic")
+		}
+	}()
+	MustGrid(-1)
+}
+
+func TestLevelZeroGrid(t *testing.T) {
+	g := MustGrid(0)
+	if g.Cells() != 1 || g.Side() != 1 {
+		t.Fatalf("level-0 grid = %+v", g)
+	}
+	if g.CellRect(0, 0) != geom.UnitSquare {
+		t.Fatalf("level-0 cell = %v", g.CellRect(0, 0))
+	}
+	if n := g.SpanCount(geom.NewRect(0.1, 0.1, 0.9, 0.9)); n != 1 {
+		t.Fatalf("SpanCount = %d", n)
+	}
+}
+
+func TestCellOf(t *testing.T) {
+	g := MustGrid(2) // 4×4, cells of 0.25
+	tests := []struct {
+		x, y float64
+		i, j int
+	}{
+		{0, 0, 0, 0},
+		{0.24, 0.24, 0, 0},
+		{0.25, 0.25, 1, 1}, // boundary belongs to the higher cell
+		{0.99, 0.5, 3, 2},
+		{1, 1, 3, 3}, // extent max clamps into the last cell
+		{-5, 2, 0, 3},
+	}
+	for _, tt := range tests {
+		i, j := g.CellOf(tt.x, tt.y)
+		if i != tt.i || j != tt.j {
+			t.Errorf("CellOf(%g,%g) = (%d,%d), want (%d,%d)", tt.x, tt.y, i, j, tt.i, tt.j)
+		}
+	}
+}
+
+func TestCellRectTilesUnitSquare(t *testing.T) {
+	g := MustGrid(3)
+	var total float64
+	for j := 0; j < g.Side(); j++ {
+		for i := 0; i < g.Side(); i++ {
+			r := g.CellRect(i, j)
+			total += r.Area()
+			if !geom.UnitSquare.Contains(r) {
+				t.Fatalf("cell (%d,%d) = %v escapes the unit square", i, j, r)
+			}
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("cells tile area %g, want 1", total)
+	}
+}
+
+func TestVisitCells(t *testing.T) {
+	g := MustGrid(2)
+	r := geom.NewRect(0.1, 0.1, 0.6, 0.3) // spans cols 0-2, rows 0-1
+	visited := map[[2]int]geom.Rect{}
+	var areaSum float64
+	g.VisitCells(r, func(i, j int, inter geom.Rect) {
+		visited[[2]int{i, j}] = inter
+		areaSum += inter.Area()
+		if !r.Contains(inter) {
+			t.Errorf("intersection %v outside rect", inter)
+		}
+		if !g.CellRect(i, j).Contains(inter) {
+			t.Errorf("intersection %v outside cell (%d,%d)", inter, i, j)
+		}
+	})
+	if len(visited) != 6 {
+		t.Fatalf("visited %d cells, want 6", len(visited))
+	}
+	if math.Abs(areaSum-r.Area()) > 1e-12 {
+		t.Fatalf("intersection areas sum to %g, want %g", areaSum, r.Area())
+	}
+	if got := g.SpanCount(r); got != 6 {
+		t.Fatalf("SpanCount = %d, want 6", got)
+	}
+}
+
+func TestVisitCellsDegenerate(t *testing.T) {
+	g := MustGrid(2)
+	// A point lands in exactly one cell with a degenerate intersection.
+	p := geom.NewRect(0.3, 0.7, 0.3, 0.7)
+	count := 0
+	g.VisitCells(p, func(i, j int, inter geom.Rect) {
+		count++
+		if i != 1 || j != 2 {
+			t.Errorf("point visited cell (%d,%d)", i, j)
+		}
+		if inter.Area() != 0 {
+			t.Errorf("point intersection area %g", inter.Area())
+		}
+	})
+	if count != 1 {
+		t.Fatalf("point visited %d cells", count)
+	}
+}
+
+func TestPropVisitCoversArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := MustGrid(4)
+	f := func() bool {
+		x, y := rng.Float64(), rng.Float64()
+		r := geom.NewRect(x, y, math.Min(1, x+rng.Float64()*0.5), math.Min(1, y+rng.Float64()*0.5))
+		var sum float64
+		n := 0
+		g.VisitCells(r, func(_, _ int, inter geom.Rect) {
+			sum += inter.Area()
+			n++
+		})
+		return math.Abs(sum-r.Area()) < 1e-12 && n == g.SpanCount(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellIndexRoundTrip(t *testing.T) {
+	g := MustGrid(3)
+	seen := map[int]bool{}
+	for j := 0; j < g.Side(); j++ {
+		for i := 0; i < g.Side(); i++ {
+			idx := g.CellIndex(i, j)
+			if idx < 0 || idx >= g.Cells() || seen[idx] {
+				t.Fatalf("CellIndex(%d,%d) = %d invalid or duplicate", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package histogram
+
+import (
+	"fmt"
+
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+// GHBuilder maintains a Geometric Histogram incrementally. Because every GH
+// cell parameter is a plain sum of per-item contributions, inserting an item
+// adds its contributions and deleting subtracts them — no rebuild, no access
+// to other items. This is what makes GH viable as live database statistics:
+// a table under OLTP-style churn keeps its histogram current in O(cells
+// spanned) per update, unlike sampling (which must re-draw) and unlike
+// techniques whose buckets depend on data order.
+//
+// A GHBuilder is not safe for concurrent use.
+type GHBuilder struct {
+	grid  Grid
+	name  string
+	n     int
+	cells []ghCell
+}
+
+// NewGHBuilder returns an empty builder for the named dataset at gridding
+// level h. Items added later must already be normalized to the unit square
+// (use Dataset.Normalize before feeding items from a raw extent).
+func NewGHBuilder(name string, level int) (*GHBuilder, error) {
+	g, err := NewGrid(level)
+	if err != nil {
+		return nil, err
+	}
+	return &GHBuilder{grid: g, name: name, cells: make([]ghCell, g.Cells())}, nil
+}
+
+// GHBuilderFrom seeds a builder with an existing dataset (normalized
+// first), equivalent to adding every item individually.
+func GHBuilderFrom(d *dataset.Dataset, level int) (*GHBuilder, error) {
+	b, err := NewGHBuilder(d.Name, level)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range d.Normalize().Items {
+		if err := b.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Len returns the number of items currently reflected in the histogram.
+func (b *GHBuilder) Len() int { return b.n }
+
+// Level returns the gridding level.
+func (b *GHBuilder) Level() int { return b.grid.Level() }
+
+// Add folds one rectangle into the histogram.
+func (b *GHBuilder) Add(r geom.Rect) error {
+	if err := b.check(r); err != nil {
+		return err
+	}
+	applyGHItem(b.grid, r, b.cells, +1)
+	b.n++
+	return nil
+}
+
+// Remove subtracts one rectangle's contributions. The caller must pass a
+// rectangle previously Added (the builder cannot verify membership; removing
+// a never-added rectangle silently corrupts the sums).
+func (b *GHBuilder) Remove(r geom.Rect) error {
+	if err := b.check(r); err != nil {
+		return err
+	}
+	if b.n == 0 {
+		return fmt.Errorf("histogram: Remove on empty builder")
+	}
+	applyGHItem(b.grid, r, b.cells, -1)
+	b.n--
+	return nil
+}
+
+func (b *GHBuilder) check(r geom.Rect) error {
+	if !r.Valid() || !geom.UnitSquare.Contains(r) {
+		return fmt.Errorf("histogram: item %v not normalized to the unit square", r)
+	}
+	return nil
+}
+
+// Summary snapshots the current state as an immutable GHSummary usable with
+// GH.Estimate at the same level. The cell table is copied, so later updates
+// to the builder do not affect the snapshot.
+func (b *GHBuilder) Summary() *GHSummary {
+	cells := make([]ghCell, len(b.cells))
+	copy(cells, b.cells)
+	return &GHSummary{name: b.name, n: b.n, level: b.grid.Level(), cells: cells}
+}
+
+// applyGHItem adds (sign=+1) or removes (sign=−1) one item's contributions.
+func applyGHItem(grid Grid, r geom.Rect, cells []ghCell, sign float64) {
+	cellArea := grid.CellArea()
+	cw, ch := grid.CellWidth(), grid.CellHeight()
+	for _, p := range r.Corners() {
+		i, j := grid.CellOf(p.X, p.Y)
+		cells[grid.CellIndex(i, j)].C += sign
+	}
+	grid.VisitCells(r, func(i, j int, inter geom.Rect) {
+		cells[grid.CellIndex(i, j)].O += sign * inter.Area() / cellArea
+	})
+	for _, y := range [2]float64{r.MinY, r.MaxY} {
+		i0, j := grid.CellOf(r.MinX, y)
+		i1, _ := grid.CellOf(r.MaxX, y)
+		for i := i0; i <= i1; i++ {
+			cell := grid.CellRect(i, j)
+			lo := maxf(r.MinX, cell.MinX)
+			hi := minf(r.MaxX, cell.MaxX)
+			if hi > lo {
+				cells[grid.CellIndex(i, j)].H += sign * (hi - lo) / cw
+			}
+		}
+	}
+	for _, x := range [2]float64{r.MinX, r.MaxX} {
+		i, j0 := grid.CellOf(x, r.MinY)
+		_, j1 := grid.CellOf(x, r.MaxY)
+		for j := j0; j <= j1; j++ {
+			cell := grid.CellRect(i, j)
+			lo := maxf(r.MinY, cell.MinY)
+			hi := minf(r.MaxY, cell.MaxY)
+			if hi > lo {
+				cells[grid.CellIndex(i, j)].V += sign * (hi - lo) / ch
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+func ghCellsEqual(a, b []ghCell, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i].C-b[i].C) > tol || math.Abs(a[i].O-b[i].O) > tol ||
+			math.Abs(a[i].H-b[i].H) > tol || math.Abs(a[i].V-b[i].V) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGHBuilderValidation(t *testing.T) {
+	if _, err := NewGHBuilder("x", -1); err == nil {
+		t.Error("negative level accepted")
+	}
+	b, err := NewGHBuilder("x", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Level() != 3 || b.Len() != 0 {
+		t.Fatalf("builder = %d/%d", b.Level(), b.Len())
+	}
+	if err := b.Add(geom.NewRect(0.5, 0.5, 1.5, 1.5)); err == nil {
+		t.Error("non-normalized item accepted")
+	}
+	if err := b.Add(geom.Rect{MinX: 0.5, MaxX: 0.4, MinY: 0, MaxY: 0.1}); err == nil {
+		t.Error("invalid item accepted")
+	}
+	if err := b.Remove(geom.NewRect(0, 0, 0.1, 0.1)); err == nil {
+		t.Error("Remove on empty builder accepted")
+	}
+}
+
+// TestGHBuilderMatchesBatchBuild verifies the incremental path produces the
+// exact same histogram as GH.Build.
+func TestGHBuilderMatchesBatchBuild(t *testing.T) {
+	d := datagen.Cluster("d", 2000, 0.4, 0.6, 0.1, 0.02, 110)
+	level := 5
+
+	batchRaw, err := MustGH(level).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := batchRaw.(*GHSummary)
+
+	b, err := GHBuilderFrom(d, level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := b.Summary()
+	if inc.ItemCount() != batch.ItemCount() || inc.Level() != batch.Level() {
+		t.Fatalf("identity mismatch: %d/%d vs %d/%d",
+			inc.ItemCount(), inc.Level(), batch.ItemCount(), batch.Level())
+	}
+	if !ghCellsEqual(inc.cells, batch.cells, 1e-12) {
+		t.Fatal("incremental cells differ from batch build")
+	}
+}
+
+// TestGHBuilderRemoveRestores verifies Add followed by Remove is an exact
+// no-op (contributions are sums, so cancellation is bitwise up to float
+// rounding).
+func TestGHBuilderRemoveRestores(t *testing.T) {
+	d := datagen.Uniform("d", 500, 0.05, 111)
+	b, err := GHBuilderFrom(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.Summary()
+
+	rng := rand.New(rand.NewSource(112))
+	extra := make([]geom.Rect, 200)
+	for i := range extra {
+		x, y := rng.Float64()*0.8, rng.Float64()*0.8
+		extra[i] = geom.NewRect(x, y, x+rng.Float64()*0.2, y+rng.Float64()*0.2)
+	}
+	for _, r := range extra {
+		if err := b.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != 700 {
+		t.Fatalf("Len after adds = %d", b.Len())
+	}
+	for _, r := range extra {
+		if err := b.Remove(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := b.Summary()
+	if after.ItemCount() != before.ItemCount() {
+		t.Fatalf("ItemCount %d != %d", after.ItemCount(), before.ItemCount())
+	}
+	if !ghCellsEqual(after.cells, before.cells, 1e-9) {
+		t.Fatal("add+remove did not restore the histogram")
+	}
+}
+
+// TestGHBuilderSnapshotIsolation verifies snapshots are unaffected by later
+// updates.
+func TestGHBuilderSnapshotIsolation(t *testing.T) {
+	b, _ := NewGHBuilder("d", 3)
+	if err := b.Add(geom.NewRect(0.1, 0.1, 0.2, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	snap := b.Summary()
+	c0 := snap.cells[0].C
+	if err := b.Add(geom.NewRect(0.01, 0.01, 0.05, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if snap.cells[0].C != c0 {
+		t.Fatal("snapshot mutated by later Add")
+	}
+	if b.Summary().ItemCount() != 2 || snap.ItemCount() != 1 {
+		t.Fatal("item counts wrong")
+	}
+}
+
+// TestGHBuilderEstimatesTrackUpdates runs a live scenario: the estimate from
+// a maintained histogram tracks the exact selectivity through churn.
+func TestGHBuilderEstimatesTrackUpdates(t *testing.T) {
+	level := 6
+	gh := MustGH(level)
+	staticSide := datagen.Uniform("static", 4000, 0.01, 113)
+	staticSum, err := gh.Build(staticSide)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := NewGHBuilder("live", level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(114))
+	var live []geom.Rect
+	mk := func() geom.Rect {
+		x, y := rng.Float64()*0.99, rng.Float64()*0.99
+		return geom.NewRect(x, y, math.Min(1, x+rng.Float64()*0.01), math.Min(1, y+rng.Float64()*0.01))
+	}
+	// Grow to 3000 items, then churn: each step removes one random item and
+	// inserts a new one. Periodically compare the maintained estimate with a
+	// freshly built histogram's estimate — they must agree exactly.
+	for i := 0; i < 3000; i++ {
+		r := mk()
+		live = append(live, r)
+		if err := b.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 300; step++ {
+		idx := rng.Intn(len(live))
+		if err := b.Remove(live[idx]); err != nil {
+			t.Fatal(err)
+		}
+		live[idx] = mk()
+		if err := b.Add(live[idx]); err != nil {
+			t.Fatal(err)
+		}
+		if step%100 != 0 {
+			continue
+		}
+		liveEst, err := gh.Estimate(b.Summary(), staticSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := make([]geom.Rect, len(live))
+		copy(cp, live)
+		freshSum, err := gh.Build(dataset.New("fresh", geom.UnitSquare, cp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		freshEst, err := gh.Estimate(freshSum, staticSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(liveEst.PairCount-freshEst.PairCount) / math.Max(1, freshEst.PairCount); rel > 1e-6 {
+			t.Fatalf("step %d: maintained estimate %g deviates from fresh %g",
+				step, liveEst.PairCount, freshEst.PairCount)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package histogram
+
+import (
+	"container/heap"
+	"fmt"
+
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+// MinSkew implements the spatial histogram of Acharya, Poosala and
+// Ramaswamy (SIGMOD 1999) — the other major histogram family for spatial
+// selectivity, included as a range-estimation comparator to the paper's
+// grid techniques. Instead of a uniform grid, MinSkew recursively binary-
+// partitions the space into a fixed budget of buckets, always taking the
+// split that most reduces *spatial skew* (the variance of the underlying
+// density grid within each bucket). Each bucket stores its item count and
+// average item extents; estimation assumes uniformity inside buckets, which
+// the construction has made as true as the budget allows.
+type MinSkew struct {
+	gridLevel int
+	buckets   int
+}
+
+// MinSkewBucket is one leaf of the partition.
+type MinSkewBucket struct {
+	Rect  geom.Rect
+	Count float64 // items whose center falls in the bucket
+	AvgW  float64 // mean item width
+	AvgH  float64 // mean item height
+}
+
+// MinSkewSummary is the built histogram.
+type MinSkewSummary struct {
+	name    string
+	n       int
+	Buckets []MinSkewBucket
+}
+
+// NewMinSkew returns a MinSkew builder that measures density at the given
+// grid level (the split-candidate resolution) and produces at most buckets
+// buckets. buckets must be ≥ 1 and not exceed the grid's cell count.
+func NewMinSkew(gridLevel, buckets int) (*MinSkew, error) {
+	g, err := NewGrid(gridLevel)
+	if err != nil {
+		return nil, err
+	}
+	if buckets < 1 || buckets > g.Cells() {
+		return nil, fmt.Errorf("histogram: minskew buckets %d outside [1, %d]", buckets, g.Cells())
+	}
+	return &MinSkew{gridLevel: gridLevel, buckets: buckets}, nil
+}
+
+// MustMinSkew is NewMinSkew for static configurations; it panics on error.
+func MustMinSkew(gridLevel, buckets int) *MinSkew {
+	m, err := NewMinSkew(gridLevel, buckets)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name identifies the technique.
+func (m *MinSkew) Name() string { return fmt.Sprintf("MinSkew(B=%d)", m.buckets) }
+
+// region is a cell-aligned candidate bucket during construction.
+type region struct {
+	i0, i1, j0, j1 int // inclusive cell range
+	count          float64
+	skew           float64 // Σ (cell − mean)² within the region
+	// best split found for this region
+	splitAxis  int // 0 = none, 1 = x, 2 = y
+	splitAt    int // first cell index of the right/top part
+	splitGain  float64
+	sumW, sumH float64
+}
+
+// Build constructs the histogram of the (normalized) dataset.
+func (m *MinSkew) Build(d *dataset.Dataset) (*MinSkewSummary, error) {
+	nd := d.Normalize()
+	g := MustGrid(m.gridLevel)
+	side := g.Side()
+	// Density grid: item centers, plus per-cell extent sums for bucket
+	// averages.
+	counts := make([]float64, g.Cells())
+	sumW := make([]float64, g.Cells())
+	sumH := make([]float64, g.Cells())
+	for _, r := range nd.Items {
+		c := r.Center()
+		i, j := g.CellOf(c.X, c.Y)
+		idx := g.CellIndex(i, j)
+		counts[idx]++
+		sumW[idx] += r.Width()
+		sumH[idx] += r.Height()
+	}
+	cell := func(i, j int) int { return j*side + i }
+
+	mk := func(i0, i1, j0, j1 int) region {
+		r := region{i0: i0, i1: i1, j0: j0, j1: j1}
+		cells := float64((i1 - i0 + 1) * (j1 - j0 + 1))
+		var sum, sumSq float64
+		for j := j0; j <= j1; j++ {
+			for i := i0; i <= i1; i++ {
+				v := counts[cell(i, j)]
+				sum += v
+				sumSq += v * v
+				r.sumW += sumW[cell(i, j)]
+				r.sumH += sumH[cell(i, j)]
+			}
+		}
+		r.count = sum
+		r.skew = sumSq - sum*sum/cells
+		m.bestSplit(&r, counts, side)
+		return r
+	}
+
+	h := &regionHeap{}
+	heap.Push(h, mk(0, side-1, 0, side-1))
+	for h.Len() < m.buckets {
+		top := heap.Pop(h).(region)
+		if top.splitAxis == 0 || top.splitGain <= 0 {
+			// Nothing splittable gains anything; put it back and stop.
+			heap.Push(h, top)
+			break
+		}
+		var a, b region
+		if top.splitAxis == 1 {
+			a = mk(top.i0, top.splitAt-1, top.j0, top.j1)
+			b = mk(top.splitAt, top.i1, top.j0, top.j1)
+		} else {
+			a = mk(top.i0, top.i1, top.j0, top.splitAt-1)
+			b = mk(top.i0, top.i1, top.splitAt, top.j1)
+		}
+		heap.Push(h, a)
+		heap.Push(h, b)
+	}
+
+	s := &MinSkewSummary{name: d.Name, n: d.Len(), Buckets: make([]MinSkewBucket, 0, h.Len())}
+	for _, r := range h.items {
+		b := MinSkewBucket{
+			Rect: geom.Rect{
+				MinX: float64(r.i0) * g.CellWidth(),
+				MinY: float64(r.j0) * g.CellHeight(),
+				MaxX: float64(r.i1+1) * g.CellWidth(),
+				MaxY: float64(r.j1+1) * g.CellHeight(),
+			},
+			Count: r.count,
+		}
+		if r.count > 0 {
+			b.AvgW = r.sumW / r.count
+			b.AvgH = r.sumH / r.count
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	return s, nil
+}
+
+// bestSplit scans all axis-aligned cuts of r, recording the one maximizing
+// the skew reduction (parent skew − children skews).
+func (m *MinSkew) bestSplit(r *region, counts []float64, side int) {
+	cell := func(i, j int) int { return j*side + i }
+	r.splitAxis, r.splitGain = 0, 0
+
+	evaluate := func(axis int, lo, hi, olo, ohi int, at int) float64 {
+		// Compute children skews for a cut before `at` along axis.
+		childSkew := func(a0, a1 int) float64 {
+			var sum, sumSq float64
+			n := 0.0
+			for p := a0; p <= a1; p++ {
+				for q := olo; q <= ohi; q++ {
+					var v float64
+					if axis == 1 {
+						v = counts[cell(p, q)]
+					} else {
+						v = counts[cell(q, p)]
+					}
+					sum += v
+					sumSq += v * v
+					n++
+				}
+			}
+			return sumSq - sum*sum/n
+		}
+		return r.skew - childSkew(lo, at-1) - childSkew(at, hi)
+	}
+
+	// X cuts.
+	for at := r.i0 + 1; at <= r.i1; at++ {
+		if gain := evaluate(1, r.i0, r.i1, r.j0, r.j1, at); gain > r.splitGain {
+			r.splitAxis, r.splitAt, r.splitGain = 1, at, gain
+		}
+	}
+	// Y cuts (axis 2 swaps the roles in evaluate's indexing).
+	for at := r.j0 + 1; at <= r.j1; at++ {
+		if gain := evaluate(2, r.j0, r.j1, r.i0, r.i1, at); gain > r.splitGain {
+			r.splitAxis, r.splitAt, r.splitGain = 2, at, gain
+		}
+	}
+}
+
+// regionHeap is a max-heap on split gain, so the most skew-reducing split
+// is always taken next.
+type regionHeap struct{ items []region }
+
+func (h *regionHeap) Len() int           { return len(h.items) }
+func (h *regionHeap) Less(i, j int) bool { return h.items[i].splitGain > h.items[j].splitGain }
+func (h *regionHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *regionHeap) Push(x interface{}) { h.items = append(h.items, x.(region)) }
+func (h *regionHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	r := old[n-1]
+	h.items = old[:n-1]
+	return r
+}
+
+// DatasetName implements core.Summary.
+func (s *MinSkewSummary) DatasetName() string { return s.name }
+
+// ItemCount implements core.Summary.
+func (s *MinSkewSummary) ItemCount() int { return s.n }
+
+// SizeBytes implements core.Summary: 7 float64 per bucket.
+func (s *MinSkewSummary) SizeBytes() int64 { return int64(len(s.Buckets))*56 + 16 }
+
+// EstimateRange implements RangeEstimator: per bucket, the expected number
+// of items intersecting q under within-bucket uniformity (items placed by
+// their centers, reaching q via the Minkowski-expanded window).
+func (s *MinSkewSummary) EstimateRange(q geom.Rect) float64 {
+	q, ok := clipUnit(q)
+	if !ok {
+		return 0
+	}
+	var total float64
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			continue
+		}
+		// The item's center must fall within q expanded by half the item
+		// extents, clipped to the bucket.
+		ex := geom.Rect{
+			MinX: q.MinX - b.AvgW/2, MinY: q.MinY - b.AvgH/2,
+			MaxX: q.MaxX + b.AvgW/2, MaxY: q.MaxY + b.AvgH/2,
+		}
+		total += b.Count * b.Rect.IntersectionArea(ex) / b.Rect.Area()
+	}
+	return total
+}
+
+// Interface conformance.
+var _ RangeEstimator = (*MinSkewSummary)(nil)

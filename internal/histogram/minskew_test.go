@@ -1,0 +1,187 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+func TestNewMinSkewValidation(t *testing.T) {
+	if _, err := NewMinSkew(-1, 16); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewMinSkew(3, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := NewMinSkew(2, 17); err == nil {
+		t.Error("more buckets than cells accepted")
+	}
+	m := MustMinSkew(5, 64)
+	if m.Name() != "MinSkew(B=64)" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestMustMinSkewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMinSkew did not panic")
+		}
+	}()
+	MustMinSkew(2, 0)
+}
+
+// TestMinSkewStructure verifies the partition is a disjoint cover of the
+// unit square whose counts sum to N.
+func TestMinSkewStructure(t *testing.T) {
+	d := datagen.Cluster("c", 5000, 0.3, 0.7, 0.1, 0.01, 230)
+	s, err := MustMinSkew(6, 128).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DatasetName() != "c" || s.ItemCount() != 5000 {
+		t.Fatal("identity wrong")
+	}
+	if len(s.Buckets) == 0 || len(s.Buckets) > 128 {
+		t.Fatalf("bucket count %d", len(s.Buckets))
+	}
+	var areaSum, countSum float64
+	for i, b := range s.Buckets {
+		if !b.Rect.Valid() || b.Rect.Area() <= 0 {
+			t.Fatalf("bucket %d invalid rect %v", i, b.Rect)
+		}
+		areaSum += b.Rect.Area()
+		countSum += b.Count
+		for j := i + 1; j < len(s.Buckets); j++ {
+			if b.Rect.IntersectsOpen(s.Buckets[j].Rect) {
+				t.Fatalf("buckets %d and %d overlap", i, j)
+			}
+		}
+	}
+	if math.Abs(areaSum-1) > 1e-9 {
+		t.Fatalf("buckets cover area %g, want 1", areaSum)
+	}
+	if math.Abs(countSum-5000) > 1e-9 {
+		t.Fatalf("bucket counts sum to %g, want 5000", countSum)
+	}
+	if s.SizeBytes() != int64(len(s.Buckets))*56+16 {
+		t.Fatal("SizeBytes wrong")
+	}
+}
+
+// TestMinSkewAdaptsToSkew: buckets must concentrate where the data is. The
+// smallest buckets should lie near the cluster center.
+func TestMinSkewAdaptsToSkew(t *testing.T) {
+	d := datagen.Cluster("c", 10000, 0.3, 0.7, 0.06, 0.005, 231)
+	s, _ := MustMinSkew(6, 64).Build(d)
+	smallest := s.Buckets[0]
+	for _, b := range s.Buckets[1:] {
+		if b.Rect.Area() < smallest.Rect.Area() {
+			smallest = b
+		}
+	}
+	c := smallest.Rect.Center()
+	if math.Hypot(c.X-0.3, c.Y-0.7) > 0.3 {
+		t.Errorf("smallest bucket at %v, far from the cluster", c)
+	}
+}
+
+func TestMinSkewRangeAccuracy(t *testing.T) {
+	d := datagen.Cluster("c", 10000, 0.4, 0.6, 0.12, 0.01, 232)
+	s, _ := MustMinSkew(6, 256).Build(d)
+	parRaw, _ := NewParametric().Build(d)
+	par := parRaw.(*ParametricSummary)
+	rng := rand.New(rand.NewSource(233))
+	var msSum, parSum float64
+	n := 0
+	for trial := 0; trial < 30; trial++ {
+		x, y := rng.Float64()*0.8, rng.Float64()*0.8
+		q := geom.NewRect(x, y, math.Min(1, x+0.05+rng.Float64()*0.15), math.Min(1, y+0.05+rng.Float64()*0.15))
+		actual := 0
+		for _, r := range d.Items {
+			if r.Intersects(q) {
+				actual++
+			}
+		}
+		if actual < 30 {
+			continue
+		}
+		msSum += 100 * math.Abs(s.EstimateRange(q)-float64(actual)) / float64(actual)
+		parSum += 100 * math.Abs(par.EstimateRange(q)-float64(actual)) / float64(actual)
+		n++
+	}
+	msAvg, parAvg := msSum/float64(n), parSum/float64(n)
+	if msAvg > 15 {
+		t.Errorf("MinSkew avg error %.1f%%, want <15%%", msAvg)
+	}
+	if msAvg >= parAvg {
+		t.Errorf("MinSkew %.1f%% not below parametric %.1f%% on clustered data", msAvg, parAvg)
+	}
+}
+
+func TestMinSkewMoreBucketsMoreAccurate(t *testing.T) {
+	d := datagen.MultiCluster("m", 10000, 5, 0.04, 0.01, 234)
+	q := geom.NewRect(0.2, 0.2, 0.6, 0.6)
+	actual := 0
+	for _, r := range d.Items {
+		if r.Intersects(q) {
+			actual++
+		}
+	}
+	errAt := func(buckets int) float64 {
+		s, err := MustMinSkew(6, buckets).Build(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(s.EstimateRange(q) - float64(actual))
+	}
+	if e256, e4 := errAt(256), errAt(4); e256 > e4 {
+		t.Errorf("256 buckets (err %.0f) worse than 4 buckets (err %.0f)", e256, e4)
+	}
+}
+
+func TestMinSkewEdgeWindows(t *testing.T) {
+	d := datagen.Uniform("u", 2000, 0.01, 235)
+	s, _ := MustMinSkew(5, 32).Build(d)
+	if got := s.EstimateRange(geom.NewRect(3, 3, 4, 4)); got != 0 {
+		t.Fatalf("outside window = %g", got)
+	}
+	full := s.EstimateRange(geom.UnitSquare)
+	if math.Abs(full-2000) > 2000*0.05 {
+		t.Fatalf("full window = %g, want ≈2000", full)
+	}
+	// Single bucket degenerates to the parametric model.
+	one, _ := MustMinSkew(5, 1).Build(d)
+	if len(one.Buckets) != 1 {
+		t.Fatalf("B=1 produced %d buckets", len(one.Buckets))
+	}
+}
+
+func TestMinSkewUniformDataStopsSplitting(t *testing.T) {
+	// A perfectly flat density grid offers no skew reduction; construction
+	// may stop early rather than force useless splits.
+	items := make([]geom.Rect, 0, 256)
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 16; i++ {
+			x := (float64(i) + 0.5) / 16
+			y := (float64(j) + 0.5) / 16
+			items = append(items, geom.NewRect(x, y, x, y))
+		}
+	}
+	d := dataset.New("flat", geom.UnitSquare, items)
+	s, err := MustMinSkew(4, 64).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 256 {
+		t.Fatalf("counts sum %g", total)
+	}
+}

@@ -1,0 +1,113 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"spatialsel/internal/core"
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+func TestParametricHandComputed(t *testing.T) {
+	// Two one-item datasets in the unit square; Eqn. 1 by hand:
+	// Size = N1·C2 + C1·N2 + N1·N2·(W1·H2 + W2·H1)/A
+	//      = 1·0.01 + 0.04·1 + 1·(0.2·0.1 + 0.1·0.2) = 0.01+0.04+0.04 = 0.09
+	a := dataset.New("a", geom.UnitSquare, []geom.Rect{geom.NewRect(0, 0, 0.2, 0.2)})     // W=0.2 H=0.2 C=0.04
+	b := dataset.New("b", geom.UnitSquare, []geom.Rect{geom.NewRect(0.5, 0.5, 0.6, 0.6)}) // W=0.1 H=0.1 C=0.01
+	p := NewParametric()
+	sa, err := p.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := p.Build(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Estimate(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.PairCount-0.09) > 1e-12 {
+		t.Fatalf("PairCount = %g, want 0.09", est.PairCount)
+	}
+	if math.Abs(est.Selectivity-0.09) > 1e-12 {
+		t.Fatalf("Selectivity = %g, want 0.09", est.Selectivity)
+	}
+}
+
+func TestParametricAccurateOnUniform(t *testing.T) {
+	// The uniformity assumption holds on SURA-like data, so the parametric
+	// estimate should be close to truth.
+	a := datagen.Uniform("a", 4000, 0.02, 31)
+	b := datagen.Uniform("b", 4000, 0.02, 32)
+	truth := core.ComputeGroundTruth(a, b)
+	res, err := core.Run(NewParametric(), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorPct > 15 {
+		t.Fatalf("parametric error on uniform data = %.1f%%", res.ErrorPct)
+	}
+}
+
+func TestParametricPoorOnClustered(t *testing.T) {
+	// Two co-located clusters: the uniformity assumption spreads them over
+	// the whole extent, grossly underestimating the join.
+	a := datagen.Cluster("a", 3000, 0.4, 0.7, 0.05, 0.01, 33)
+	b := datagen.Cluster("b", 3000, 0.4, 0.7, 0.05, 0.01, 34)
+	truth := core.ComputeGroundTruth(a, b)
+	res, err := core.Run(NewParametric(), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrorPct < 50 {
+		t.Fatalf("parametric error on clustered data = %.1f%%, expected large", res.ErrorPct)
+	}
+	if res.Estimate.Selectivity > truth.Selectivity {
+		t.Fatalf("expected underestimation: est %g vs truth %g",
+			res.Estimate.Selectivity, truth.Selectivity)
+	}
+}
+
+func TestParametricNormalizesExtent(t *testing.T) {
+	// The same data expressed in a larger extent must yield the same
+	// estimate after normalization.
+	itemsSmall := []geom.Rect{geom.NewRect(0.1, 0.1, 0.3, 0.3)}
+	itemsBig := []geom.Rect{geom.NewRect(100, 100, 300, 300)}
+	small := dataset.New("s", geom.UnitSquare, itemsSmall)
+	big := dataset.New("b", geom.NewRect(0, 0, 1000, 1000), itemsBig)
+	p := NewParametric()
+	ss, _ := p.Build(small)
+	sb, _ := p.Build(big)
+	estSS, _ := p.Estimate(ss, ss)
+	estBB, _ := p.Estimate(sb, sb)
+	if math.Abs(estSS.PairCount-estBB.PairCount) > 1e-12 {
+		t.Fatalf("normalization broken: %g vs %g", estSS.PairCount, estBB.PairCount)
+	}
+}
+
+func TestParametricRejectsForeignSummary(t *testing.T) {
+	p := NewParametric()
+	d := datagen.Uniform("d", 50, 0.02, 35)
+	gh, _ := MustGH(2).Build(d)
+	own, _ := p.Build(d)
+	if _, err := p.Estimate(gh, own); err != core.ErrSummaryMismatch {
+		t.Fatalf("err = %v, want ErrSummaryMismatch", err)
+	}
+	if _, err := p.Estimate(own, gh); err != core.ErrSummaryMismatch {
+		t.Fatalf("err = %v, want ErrSummaryMismatch", err)
+	}
+}
+
+func TestParametricSummaryAccessors(t *testing.T) {
+	d := datagen.Uniform("d", 100, 0.02, 36)
+	s, _ := NewParametric().Build(d)
+	if s.DatasetName() != "d" || s.ItemCount() != 100 || s.SizeBytes() != 48 {
+		t.Fatalf("summary = %v/%d/%d", s.DatasetName(), s.ItemCount(), s.SizeBytes())
+	}
+	if str := s.(*ParametricSummary).String(); str == "" {
+		t.Fatal("empty String()")
+	}
+}

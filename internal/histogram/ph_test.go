@@ -1,0 +1,247 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialsel/internal/core"
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+func TestNewPHValidation(t *testing.T) {
+	if _, err := NewPH(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := NewPH(MaxLevel + 1); err == nil {
+		t.Error("excess level accepted")
+	}
+	p := MustPH(4)
+	if p.Level() != 4 || p.Name() != "PH(h=4)" {
+		t.Fatalf("PH = %v/%v", p.Level(), p.Name())
+	}
+	if got := MustPH(2, WithoutSpanCorrection()).Name(); got != "PH(h=2,nospan)" {
+		t.Fatalf("nospan Name = %q", got)
+	}
+}
+
+func TestMustPHPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPH did not panic")
+		}
+	}()
+	MustPH(-1)
+}
+
+// TestPHParametersAgainstBruteForce recomputes every Table-1 parameter with
+// an independent per-cell scan and compares against Build's single pass.
+func TestPHParametersAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	items := make([]geom.Rect, 300)
+	for i := range items {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		items[i] = geom.NewRect(x, y, x+rng.Float64()*0.1, y+rng.Float64()*0.1)
+	}
+	d := dataset.New("d", geom.UnitSquare, items)
+	level := 3
+	s, err := MustPH(level).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.(*PHSummary)
+	g := MustGrid(level)
+	cellArea := g.CellArea()
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+	var spanSum, spanN float64
+	for j := 0; j < g.Side(); j++ {
+		for i := 0; i < g.Side(); i++ {
+			cell := g.CellRect(i, j)
+			var num, cov, xs, ys float64
+			var nump, covp, xps, yps float64
+			for _, r := range items {
+				// Membership follows the same half-open CellRange convention
+				// as Build; the parameter arithmetic below is independent.
+				ci0, ci1, cj0, cj1 := g.CellRange(r)
+				if !(ci0 <= i && i <= ci1 && cj0 <= j && j <= cj1) {
+					continue
+				}
+				inter, _ := r.Intersection(cell)
+				if ci0 == ci1 && cj0 == cj1 {
+					num++
+					cov += r.Area() / cellArea
+					xs += r.Width()
+					ys += r.Height()
+				} else {
+					nump++
+					covp += inter.Area() / cellArea
+					xps += inter.Width()
+					yps += inter.Height()
+				}
+			}
+			c := sum.cells[g.CellIndex(i, j)]
+			if !approx(c.Num, num) || !approx(c.NumP, nump) {
+				t.Fatalf("cell (%d,%d): counts %g/%g, want %g/%g", i, j, c.Num, c.NumP, num, nump)
+			}
+			if !approx(c.Cov, cov) || !approx(c.CovP, covp) {
+				t.Fatalf("cell (%d,%d): coverage %g/%g, want %g/%g", i, j, c.Cov, c.CovP, cov, covp)
+			}
+			wantX, wantY := 0.0, 0.0
+			if num > 0 {
+				wantX, wantY = xs/num, ys/num
+			}
+			if !approx(c.Xavg, wantX) || !approx(c.Yavg, wantY) {
+				t.Fatalf("cell (%d,%d): avgs %g/%g, want %g/%g", i, j, c.Xavg, c.Yavg, wantX, wantY)
+			}
+			wantXP, wantYP := 0.0, 0.0
+			if nump > 0 {
+				wantXP, wantYP = xps/nump, yps/nump
+			}
+			if !approx(c.XavgP, wantXP) || !approx(c.YavgP, wantYP) {
+				t.Fatalf("cell (%d,%d): primed avgs %g/%g, want %g/%g", i, j, c.XavgP, c.YavgP, wantXP, wantYP)
+			}
+		}
+	}
+	// AvgSpan cross-check.
+	for _, r := range items {
+		if n := g.SpanCount(r); n > 1 {
+			spanSum += float64(n)
+			spanN++
+		}
+	}
+	want := 1.0
+	if spanN > 0 {
+		want = spanSum / spanN
+	}
+	if !approx(sum.AvgSpan(), want) {
+		t.Fatalf("AvgSpan = %g, want %g", sum.AvgSpan(), want)
+	}
+}
+
+// TestPHLevelZeroEqualsParametric verifies the degenerate case: PH at h=0 is
+// exactly the prior parametric technique of [2].
+func TestPHLevelZeroEqualsParametric(t *testing.T) {
+	a := datagen.Cluster("a", 2000, 0.4, 0.7, 0.1, 0.01, 41)
+	b := datagen.Uniform("b", 2000, 0.01, 42)
+	ph := MustPH(0)
+	par := NewParametric()
+
+	phA, _ := ph.Build(a)
+	phB, _ := ph.Build(b)
+	paA, _ := par.Build(a)
+	paB, _ := par.Build(b)
+	estPH, err := ph.Estimate(phA, phB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estPar, err := par.Estimate(paA, paB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(estPH.PairCount-estPar.PairCount) > 1e-6*math.Max(1, estPar.PairCount) {
+		t.Fatalf("PH(0) = %g, Parametric = %g", estPH.PairCount, estPar.PairCount)
+	}
+}
+
+func TestPHImprovesOnParametricForClusteredData(t *testing.T) {
+	// Two co-located clusters: the level-0 uniformity assumption spreads
+	// both over the extent and grossly underestimates; moderate gridding
+	// restores uniformity within cells (the paper's Figure-7 dip).
+	a := datagen.Cluster("a", 3000, 0.4, 0.7, 0.08, 0.01, 143)
+	b := datagen.Cluster("b", 3000, 0.45, 0.65, 0.1, 0.01, 144)
+	truth := core.ComputeGroundTruth(a, b)
+	res0, err := core.Run(MustPH(0), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := core.Run(MustPH(3), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.ErrorPct >= res0.ErrorPct/2 {
+		t.Fatalf("PH(3) error %.1f%% not much better than PH(0) %.1f%%", res3.ErrorPct, res0.ErrorPct)
+	}
+	if res3.ErrorPct > 15 {
+		t.Fatalf("PH(3) error %.1f%% too high", res3.ErrorPct)
+	}
+}
+
+func TestPHMultipleCountingHurtsAtHighLevels(t *testing.T) {
+	// The paper's second Figure-7 observation: past the sweet spot, finer
+	// gridding makes PH multiple-count boundary-spanning intersections and
+	// the estimate inflates above the sweet-spot estimate.
+	a := datagen.Cluster("a", 3000, 0.4, 0.7, 0.08, 0.01, 143)
+	b := datagen.Cluster("b", 3000, 0.45, 0.65, 0.1, 0.01, 144)
+	truth := core.ComputeGroundTruth(a, b)
+	res3, err := core.Run(MustPH(3), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res6, err := core.Run(MustPH(6), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res6.Estimate.PairCount <= res3.Estimate.PairCount {
+		t.Fatalf("PH(6) estimate %g not above PH(3) %g (no overcounting observed)",
+			res6.Estimate.PairCount, res3.Estimate.PairCount)
+	}
+}
+
+func TestPHSpanCorrectionReducesOvercount(t *testing.T) {
+	// With large rectangles at a fine grid, most items span many cells; the
+	// uncorrected Isect×Isect term multiple-counts heavily.
+	a := datagen.Uniform("a", 1500, 0.1, 45)
+	b := datagen.Uniform("b", 1500, 0.1, 46)
+	truth := core.ComputeGroundTruth(a, b)
+	with, err := core.Run(MustPH(6), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := core.Run(MustPH(6, WithoutSpanCorrection()), a, b, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Estimate.PairCount <= with.Estimate.PairCount {
+		t.Fatalf("no-span estimate %g not larger than corrected %g",
+			without.Estimate.PairCount, with.Estimate.PairCount)
+	}
+	if with.ErrorPct >= without.ErrorPct {
+		t.Fatalf("correction did not help: %.1f%% vs %.1f%%", with.ErrorPct, without.ErrorPct)
+	}
+}
+
+func TestPHEstimateRejectsMismatch(t *testing.T) {
+	d := datagen.Uniform("d", 100, 0.02, 47)
+	ph3 := MustPH(3)
+	ph4 := MustPH(4)
+	s3, _ := ph3.Build(d)
+	s4, _ := ph4.Build(d)
+	if _, err := ph3.Estimate(s3, s4); err != core.ErrSummaryMismatch {
+		t.Fatalf("level mismatch err = %v", err)
+	}
+	gh, _ := MustGH(3).Build(d)
+	if _, err := ph3.Estimate(gh, s3); err != core.ErrSummaryMismatch {
+		t.Fatalf("foreign summary err = %v", err)
+	}
+	if _, err := ph3.Estimate(s3, gh); err != core.ErrSummaryMismatch {
+		t.Fatalf("foreign summary err = %v", err)
+	}
+}
+
+func TestPHSummaryAccessors(t *testing.T) {
+	d := datagen.Uniform("d", 100, 0.02, 48)
+	s, _ := MustPH(3).Build(d)
+	sum := s.(*PHSummary)
+	if sum.DatasetName() != "d" || sum.ItemCount() != 100 || sum.Level() != 3 {
+		t.Fatalf("accessors: %v/%d/%d", sum.DatasetName(), sum.ItemCount(), sum.Level())
+	}
+	if sum.SizeBytes() != 64*64+32 {
+		t.Fatalf("SizeBytes = %d", sum.SizeBytes())
+	}
+	if sum.AvgSpan() < 1 {
+		t.Fatalf("AvgSpan = %g", sum.AvgSpan())
+	}
+}

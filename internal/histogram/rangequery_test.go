@@ -1,0 +1,208 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+// actualRangeCount is the exact answer a range estimator approximates.
+func actualRangeCount(d *dataset.Dataset, q geom.Rect) int {
+	n := 0
+	for _, r := range d.Items {
+		if r.Intersects(q) {
+			n++
+		}
+	}
+	return n
+}
+
+// rangeErr returns the relative error (%) of est against the exact count.
+func rangeErr(est float64, actual int) float64 {
+	if actual == 0 {
+		return est * 100
+	}
+	return 100 * math.Abs(est-float64(actual)) / float64(actual)
+}
+
+func rangeQueries(seed int64, n int) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x, y := rng.Float64()*0.8, rng.Float64()*0.8
+		w, h := 0.05+rng.Float64()*0.15, 0.05+rng.Float64()*0.15
+		out[i] = geom.NewRect(x, y, math.Min(1, x+w), math.Min(1, y+h))
+	}
+	return out
+}
+
+func TestGHRangeAccuracy(t *testing.T) {
+	d := datagen.Cluster("d", 10000, 0.4, 0.6, 0.15, 0.01, 80)
+	s, err := MustGH(6).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := s.(*GHSummary)
+	var worst, sum float64
+	queries := rangeQueries(81, 30)
+	for _, q := range queries {
+		actual := actualRangeCount(d, q)
+		if actual < 50 {
+			continue // tiny counts make relative error meaningless
+		}
+		e := rangeErr(gh.EstimateRange(q), actual)
+		sum += e
+		worst = math.Max(worst, e)
+	}
+	if avg := sum / float64(len(queries)); avg > 10 {
+		t.Errorf("GH range avg error %.1f%%, want <10%%", avg)
+	}
+	if worst > 30 {
+		t.Errorf("GH range worst error %.1f%%", worst)
+	}
+}
+
+func TestPHRangeAccuracy(t *testing.T) {
+	d := datagen.Cluster("d", 10000, 0.4, 0.6, 0.15, 0.01, 82)
+	s, err := MustPH(5).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := s.(*PHSummary)
+	var sum float64
+	n := 0
+	for _, q := range rangeQueries(83, 30) {
+		actual := actualRangeCount(d, q)
+		if actual < 50 {
+			continue
+		}
+		sum += rangeErr(ph.EstimateRange(q), actual)
+		n++
+	}
+	if avg := sum / float64(n); avg > 15 {
+		t.Errorf("PH range avg error %.1f%%, want <15%%", avg)
+	}
+}
+
+func TestParametricRangeUniformData(t *testing.T) {
+	// On uniform data the global formula is near-exact.
+	d := datagen.Uniform("d", 10000, 0.01, 84)
+	s, _ := NewParametric().Build(d)
+	par := s.(*ParametricSummary)
+	var sum float64
+	n := 0
+	for _, q := range rangeQueries(85, 30) {
+		actual := actualRangeCount(d, q)
+		if actual < 50 {
+			continue
+		}
+		sum += rangeErr(par.EstimateRange(q), actual)
+		n++
+	}
+	if avg := sum / float64(n); avg > 10 {
+		t.Errorf("parametric range avg error on uniform data %.1f%%", avg)
+	}
+}
+
+func TestGHRangeBeatsParametricOnSkew(t *testing.T) {
+	d := datagen.Cluster("d", 8000, 0.3, 0.3, 0.08, 0.01, 86)
+	ghRaw, _ := MustGH(6).Build(d)
+	parRaw, _ := NewParametric().Build(d)
+	gh, par := ghRaw.(*GHSummary), parRaw.(*ParametricSummary)
+
+	// A query far from the cluster: parametric predicts proportional mass,
+	// GH knows the region is empty.
+	empty := geom.NewRect(0.7, 0.7, 0.9, 0.9)
+	if actual := actualRangeCount(d, empty); actual != 0 {
+		t.Fatalf("test setup: query not empty (%d)", actual)
+	}
+	if est := gh.EstimateRange(empty); est > 1 {
+		t.Errorf("GH estimates %g items in empty region", est)
+	}
+	if est := par.EstimateRange(empty); est < 100 {
+		t.Errorf("parametric estimate %g suspiciously low — did the test setup change?", est)
+	}
+
+	// A query on the cluster: parametric grossly underestimates.
+	hot := geom.NewRect(0.25, 0.25, 0.35, 0.35)
+	actual := actualRangeCount(d, hot)
+	ghErr := rangeErr(gh.EstimateRange(hot), actual)
+	parErr := rangeErr(par.EstimateRange(hot), actual)
+	if ghErr >= parErr {
+		t.Errorf("GH error %.1f%% not below parametric %.1f%% on hot region", ghErr, parErr)
+	}
+}
+
+func TestRangeWindowEdgeCases(t *testing.T) {
+	d := datagen.Uniform("d", 2000, 0.01, 87)
+	s, _ := MustGH(4).Build(d)
+	gh := s.(*GHSummary)
+	// Window completely outside the unit square → 0.
+	if est := gh.EstimateRange(geom.NewRect(2, 2, 3, 3)); est != 0 {
+		t.Errorf("outside window est = %g", est)
+	}
+	// Window covering everything → N (all corners inside, identity exact).
+	full := gh.EstimateRange(geom.UnitSquare)
+	if math.Abs(full-2000) > 2000*0.02 {
+		t.Errorf("full-extent estimate %g, want ≈2000", full)
+	}
+	// Degenerate (zero-area) window behaves like a point probe.
+	if est := gh.EstimateRange(geom.NewRect(0.5, 0.5, 0.5, 0.5)); est < 0 {
+		t.Errorf("point probe negative: %g", est)
+	}
+	// Windows poking outside are clipped, not rejected.
+	if est := gh.EstimateRange(geom.NewRect(0.9, 0.9, 1.5, 1.5)); est < 0 {
+		t.Errorf("overhanging window negative: %g", est)
+	}
+	// PH and parametric share the clipping behaviour.
+	sp, _ := MustPH(4).Build(d)
+	if est := sp.(*PHSummary).EstimateRange(geom.NewRect(2, 2, 3, 3)); est != 0 {
+		t.Errorf("PH outside window est = %g", est)
+	}
+	pp, _ := NewParametric().Build(d)
+	if est := pp.(*ParametricSummary).EstimateRange(geom.NewRect(2, 2, 3, 3)); est != 0 {
+		t.Errorf("parametric outside window est = %g", est)
+	}
+}
+
+// TestGHCellParamsMatchApply verifies the on-the-fly per-cell computation
+// used by EstimateRange agrees exactly with the batch accumulation path.
+func TestGHCellParamsMatchApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	g := MustGrid(4)
+	for trial := 0; trial < 200; trial++ {
+		x, y := rng.Float64()*0.9, rng.Float64()*0.9
+		r := geom.NewRect(x, y, math.Min(1, x+rng.Float64()*0.3), math.Min(1, y+rng.Float64()*0.3))
+		batch := make([]ghCell, g.Cells())
+		applyGHItem(g, r, batch, +1)
+		g.VisitCells(r, func(i, j int, inter geom.Rect) {
+			got := ghCellParamsOf(g, r, i, j, inter)
+			want := batch[g.CellIndex(i, j)]
+			if math.Abs(got.C-want.C) > 1e-12 || math.Abs(got.O-want.O) > 1e-12 ||
+				math.Abs(got.H-want.H) > 1e-12 || math.Abs(got.V-want.V) > 1e-12 {
+				t.Fatalf("cell (%d,%d) of %v: on-the-fly %+v != batch %+v", i, j, r, got, want)
+			}
+		})
+	}
+}
+
+func TestMinCornerProb(t *testing.T) {
+	cell := geom.NewRect(0, 0, 1, 1)
+	// Query covering the whole domain: certain intersection.
+	if p := minCornerProb(cell, geom.NewRect(0, 0, 1, 1), 0.1, 0.1, 1, 1); p != 1 {
+		t.Errorf("full-cover prob = %g", p)
+	}
+	// Query outside reach: zero.
+	if p := minCornerProb(cell, geom.NewRect(2, 2, 3, 3), 0.1, 0.1, 1, 1); p != 0 {
+		t.Errorf("unreachable prob = %g", p)
+	}
+	// Hand-computed: w=h=0.2, q=[0.4,0.6]²; min corner must lie in
+	// [0.2,0.6]² → p = 0.16.
+	if p := minCornerProb(cell, geom.NewRect(0.4, 0.4, 0.6, 0.6), 0.2, 0.2, 1, 1); math.Abs(p-0.16) > 1e-12 {
+		t.Errorf("hand-computed prob = %g, want 0.16", p)
+	}
+}

@@ -1,0 +1,122 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/sweep"
+)
+
+func selfSummary(t *testing.T, d *dataset.Dataset, level int) *GHSummary {
+	t.Helper()
+	s, err := MustGH(level).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.(*GHSummary)
+}
+
+func TestEstimateSelfJoinAccuracy(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d    *dataset.Dataset
+		band float64 // acceptable relative error
+	}{
+		{"uniform", datagen.Uniform("u", 8000, 0.02, 220), 0.10},
+		{"clustered", datagen.Cluster("c", 8000, 0.4, 0.6, 0.1, 0.02, 221), 0.10},
+		{"diagonal", datagen.Diagonal("g", 8000, 0.05, 0.02, 222), 0.20},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			actual := sweep.SelfCount(tc.d.Items)
+			if actual == 0 {
+				t.Fatal("test setup: empty self join")
+			}
+			est := selfSummary(t, tc.d, 7).EstimateSelfJoin()
+			rel := math.Abs(est.PairCount-float64(actual)) / float64(actual)
+			if rel > tc.band {
+				t.Errorf("self-join estimate %.0f vs actual %d (rel %.2f > %.2f)",
+					est.PairCount, actual, rel, tc.band)
+			}
+			// Selectivity normalization is consistent.
+			total := float64(tc.d.Len()) * float64(tc.d.Len()-1) / 2
+			if math.Abs(est.Selectivity-est.PairCount/total) > 1e-15 {
+				t.Error("selectivity inconsistent with pair count")
+			}
+		})
+	}
+}
+
+// TestEstimateSelfJoinChainedDataUnderestimates pins the documented caveat:
+// chained polylines' self-joins are dominated by shared-endpoint touching
+// pairs invisible to probabilistic models, so the estimate must come in far
+// below truth (if this ever passes the accuracy band, the caveat can go).
+func TestEstimateSelfJoinChainedDataUnderestimates(t *testing.T) {
+	d := datagen.PolylineTrace("p", 8000, 40, 0.005, 222)
+	actual := sweep.SelfCount(d.Items)
+	est := selfSummary(t, d, 7).EstimateSelfJoin()
+	if est.PairCount > 0.5*float64(actual) {
+		t.Fatalf("chained self-join estimate %.0f unexpectedly near actual %d — revisit the documented caveat",
+			est.PairCount, actual)
+	}
+}
+
+func TestEstimateSelfJoinSparseClampsAtZero(t *testing.T) {
+	// Two far-apart items: the statistical estimate dips below N and must
+	// clamp rather than go negative.
+	d := dataset.New("sparse", datagen.Uniform("x", 1, 0.001, 223).Extent,
+		datagen.Uniform("tiny", 2, 0.0001, 224).Items)
+	est := selfSummary(t, d, 6).EstimateSelfJoin()
+	if est.PairCount < 0 || est.Selectivity < 0 {
+		t.Fatalf("negative self-join estimate: %+v", est)
+	}
+}
+
+func TestAutoLevel(t *testing.T) {
+	tests := []struct {
+		n    int
+		want int
+	}{
+		{0, 1},
+		{3, 1},
+		{4, 1},
+		{64, 2},
+		{1024, 4},
+		{100000, 8},
+		{1 << 40, MaxLevel},
+	}
+	for _, tt := range tests {
+		if got := AutoLevel(tt.n); got != tt.want {
+			t.Errorf("AutoLevel(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+	// Monotone in n.
+	prev := 0
+	for _, n := range []int{1, 10, 100, 1000, 10000, 100000, 1000000} {
+		l := AutoLevel(n)
+		if l < prev {
+			t.Fatalf("AutoLevel not monotone at n=%d", n)
+		}
+		prev = l
+	}
+}
+
+func TestAutoLevelGivesAccurateEstimates(t *testing.T) {
+	// The suggested level should put GH inside its usual accuracy band.
+	a := datagen.Cluster("a", 20000, 0.4, 0.7, 0.1, 0.005, 225)
+	b := datagen.Uniform("b", 20000, 0.005, 226)
+	level := AutoLevel(a.Len())
+	gh := MustGH(level)
+	sa, _ := gh.Build(a)
+	sb, _ := gh.Build(b)
+	est, err := gh.Estimate(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := sweep.Count(a.Items, b.Items)
+	rel := math.Abs(est.PairCount-float64(actual)) / float64(actual)
+	if rel > 0.10 {
+		t.Errorf("AutoLevel(%d)=%d estimate off by %.1f%%", a.Len(), level, rel*100)
+	}
+}

@@ -1,0 +1,246 @@
+package histogram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"spatialsel/internal/core"
+)
+
+// Histogram-file format ("SHF1"):
+//
+//	magic    [4]byte "SHF1"
+//	kind     uint8   (1=Parametric, 2=PH, 3=GH, 4=BasicGH, 5=Euler)
+//	level    uint8
+//	nameLen  uint16
+//	name     [nameLen]byte
+//	n        uint64  (dataset cardinality)
+//	extra    kind-specific float64s (PH: avgSpan)
+//	payload  kind-specific float64 arrays
+//
+// All numbers little-endian. The file is what the paper calls the
+// "histogram file": the per-dataset artifact consulted at estimation time.
+
+var shfMagic = [4]byte{'S', 'H', 'F', '1'}
+
+// ErrBadHistogramFormat is returned when decoding a malformed SHF1 stream.
+var ErrBadHistogramFormat = errors.New("histogram: bad SHF1 format")
+
+const (
+	kindParametric uint8 = 1
+	kindPH         uint8 = 2
+	kindGH         uint8 = 3
+	kindBasicGH    uint8 = 4
+	kindEuler      uint8 = 5
+)
+
+// WriteSummary encodes any summary produced by this package.
+func WriteSummary(w io.Writer, s core.Summary) error {
+	bw := bufio.NewWriter(w)
+	var kind, level uint8
+	var name string
+	var n uint64
+	var extra, payload []float64
+	switch t := s.(type) {
+	case *ParametricSummary:
+		kind, name, n = kindParametric, t.name, uint64(t.stats.N)
+		payload = []float64{t.stats.Coverage, t.stats.AvgWidth, t.stats.AvgHeight,
+			t.stats.AvgArea, t.stats.MaxWidth, t.stats.MaxHeight}
+	case *PHSummary:
+		kind, level, name, n = kindPH, uint8(t.level), t.name, uint64(t.n)
+		extra = []float64{t.avgSpan}
+		payload = make([]float64, 0, len(t.cells)*8)
+		for _, c := range t.cells {
+			payload = append(payload, c.Num, c.Cov, c.Xavg, c.Yavg, c.NumP, c.CovP, c.XavgP, c.YavgP)
+		}
+	case *GHSummary:
+		kind, level, name, n = kindGH, uint8(t.level), t.name, uint64(t.n)
+		payload = make([]float64, 0, len(t.cells)*4)
+		for _, c := range t.cells {
+			payload = append(payload, c.C, c.O, c.H, c.V)
+		}
+	case *BasicGHSummary:
+		kind, level, name, n = kindBasicGH, uint8(t.level), t.name, uint64(t.n)
+		payload = make([]float64, 0, len(t.cells)*4)
+		for _, c := range t.cells {
+			payload = append(payload, c.C, c.I, c.H, c.V)
+		}
+	case *EulerSummary:
+		kind, level, name, n = kindEuler, uint8(t.level), t.name, uint64(t.n)
+		payload = make([]float64, 0, len(t.faces)+len(t.edgesV)+len(t.edgesH)+len(t.verts))
+		for _, arr := range [][]int32{t.faces, t.edgesV, t.edgesH, t.verts} {
+			for _, v := range arr {
+				payload = append(payload, float64(v))
+			}
+		}
+	default:
+		return fmt.Errorf("histogram: cannot serialize %T", s)
+	}
+	if _, err := bw.Write(shfMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, []uint8{kind, level}); err != nil {
+		return err
+	}
+	if len(name) > math.MaxUint16 {
+		return fmt.Errorf("histogram: name too long (%d bytes)", len(name))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, extra); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSummary decodes a summary previously written by WriteSummary.
+func ReadSummary(r io.Reader) (core.Summary, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogramFormat, err)
+	}
+	if m != shfMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadHistogramFormat, m)
+	}
+	var kindLevel [2]uint8
+	if err := binary.Read(br, binary.LittleEndian, &kindLevel); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogramFormat, err)
+	}
+	kind, level := kindLevel[0], int(kindLevel[1])
+	if level > MaxLevel {
+		return nil, fmt.Errorf("%w: level %d", ErrBadHistogramFormat, level)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogramFormat, err)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogramFormat, err)
+	}
+	name := string(nameBuf)
+	var n uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadHistogramFormat, err)
+	}
+	cellCount := 1 << uint(2*level)
+	readFloats := func(k int) ([]float64, error) {
+		out := make([]float64, k)
+		if err := binary.Read(br, binary.LittleEndian, out); err != nil {
+			return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadHistogramFormat, err)
+		}
+		return out, nil
+	}
+	switch kind {
+	case kindParametric:
+		p, err := readFloats(6)
+		if err != nil {
+			return nil, err
+		}
+		s := &ParametricSummary{name: name}
+		s.stats.N = int(n)
+		s.stats.Coverage, s.stats.AvgWidth, s.stats.AvgHeight = p[0], p[1], p[2]
+		s.stats.AvgArea, s.stats.MaxWidth, s.stats.MaxHeight = p[3], p[4], p[5]
+		return s, nil
+	case kindPH:
+		extra, err := readFloats(1)
+		if err != nil {
+			return nil, err
+		}
+		p, err := readFloats(cellCount * 8)
+		if err != nil {
+			return nil, err
+		}
+		s := &PHSummary{name: name, n: int(n), level: level, avgSpan: extra[0],
+			cells: make([]phCell, cellCount)}
+		for i := range s.cells {
+			o := i * 8
+			s.cells[i] = phCell{Num: p[o], Cov: p[o+1], Xavg: p[o+2], Yavg: p[o+3],
+				NumP: p[o+4], CovP: p[o+5], XavgP: p[o+6], YavgP: p[o+7]}
+		}
+		return s, nil
+	case kindGH:
+		p, err := readFloats(cellCount * 4)
+		if err != nil {
+			return nil, err
+		}
+		s := &GHSummary{name: name, n: int(n), level: level, cells: make([]ghCell, cellCount)}
+		for i := range s.cells {
+			o := i * 4
+			s.cells[i] = ghCell{C: p[o], O: p[o+1], H: p[o+2], V: p[o+3]}
+		}
+		return s, nil
+	case kindEuler:
+		side := 1 << uint(level)
+		nf := side * side
+		ne := maxInt(side-1, 0) * side
+		nv := maxInt(side-1, 0) * maxInt(side-1, 0)
+		p, err := readFloats(nf + 2*ne + nv)
+		if err != nil {
+			return nil, err
+		}
+		s := &EulerSummary{name: name, n: int(n), level: level, side: side,
+			faces: make([]int32, nf), edgesV: make([]int32, ne),
+			edgesH: make([]int32, ne), verts: make([]int32, nv)}
+		o := 0
+		for _, arr := range [][]int32{s.faces, s.edgesV, s.edgesH, s.verts} {
+			for i := range arr {
+				arr[i] = int32(p[o])
+				o++
+			}
+		}
+		return s, nil
+	case kindBasicGH:
+		p, err := readFloats(cellCount * 4)
+		if err != nil {
+			return nil, err
+		}
+		s := &BasicGHSummary{name: name, n: int(n), level: level, cells: make([]basicCell, cellCount)}
+		for i := range s.cells {
+			o := i * 4
+			s.cells[i] = basicCell{C: p[o], I: p[o+1], H: p[o+2], V: p[o+3]}
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w: kind %d", ErrBadHistogramFormat, kind)
+}
+
+// SaveSummary writes a summary to the named file.
+func SaveSummary(path string, s core.Summary) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteSummary(f, s)
+}
+
+// LoadSummary reads a summary from the named file.
+func LoadSummary(path string) (core.Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSummary(f)
+}

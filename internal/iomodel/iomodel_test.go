@@ -1,0 +1,161 @@
+package iomodel
+
+import (
+	"math"
+	"testing"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/rtree"
+)
+
+func uniformTree(t testing.TB, n int, seed int64) *rtree.Tree {
+	t.Helper()
+	d := datagen.Uniform("d", n, 0.01, seed)
+	tr, err := rtree.BulkLoadSTR(rtree.ItemsFromRects(d.Items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestLevelStatsShape(t *testing.T) {
+	tr := uniformTree(t, 20000, 120)
+	levels := tr.LevelStats()
+	if len(levels) != tr.Height() {
+		t.Fatalf("levels = %d, height = %d", len(levels), tr.Height())
+	}
+	if levels[0].Nodes != 1 {
+		t.Fatalf("root level nodes = %d", levels[0].Nodes)
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].Nodes <= levels[i-1].Nodes {
+			t.Fatalf("level %d nodes %d not above level %d nodes %d",
+				i+1, levels[i].Nodes, i, levels[i-1].Nodes)
+		}
+		// MBRs shrink as we descend.
+		if levels[i].AvgArea >= levels[i-1].AvgArea {
+			t.Fatalf("level %d avg area %g not below parent %g",
+				i+1, levels[i].AvgArea, levels[i-1].AvgArea)
+		}
+	}
+	// Empty tree.
+	empty := rtree.MustNew()
+	if got := empty.LevelStats(); got != nil {
+		t.Fatalf("empty LevelStats = %v", got)
+	}
+	if _, ok := empty.RootMBR(); ok {
+		t.Fatal("empty RootMBR ok")
+	}
+	if m, ok := tr.RootMBR(); !ok || m.Area() <= 0 {
+		t.Fatalf("RootMBR = %v/%v", m, ok)
+	}
+}
+
+func TestRangeAccessesUniformBand(t *testing.T) {
+	tr := uniformTree(t, 30000, 121)
+	levels := tr.LevelStats()
+	for _, q := range []geom.Rect{
+		geom.NewRect(0.4, 0.4, 0.5, 0.5),
+		geom.NewRect(0.1, 0.1, 0.4, 0.3),
+		geom.NewRect(0, 0, 0.8, 0.8),
+	} {
+		predicted := RangeAccesses(levels, q)
+		measured := float64(MeasureRangeAccesses(tr, q))
+		ratio := predicted / measured
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("q=%v: predicted %.0f vs measured %.0f (ratio %.2f)",
+				q, predicted, measured, ratio)
+		}
+	}
+}
+
+func TestRangeAccessesMonotoneInQuerySize(t *testing.T) {
+	tr := uniformTree(t, 10000, 122)
+	levels := tr.LevelStats()
+	prev := -1.0
+	for _, s := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		got := RangeAccesses(levels, geom.NewRect(0.1, 0.1, 0.1+s, 0.1+s))
+		if got <= prev {
+			t.Fatalf("accesses not increasing: %g after %g (size %g)", got, prev, s)
+		}
+		prev = got
+	}
+	// A query covering everything touches every node.
+	all := RangeAccesses(levels, geom.UnitSquare)
+	stats := tr.ComputeStats()
+	if math.Abs(all-float64(stats.Nodes)) > 1e-9 {
+		t.Fatalf("full query accesses %g, want node count %d", all, stats.Nodes)
+	}
+	// A query outside the extent touches nothing.
+	if got := RangeAccesses(levels, geom.NewRect(3, 3, 4, 4)); got != 0 {
+		t.Fatalf("outside query accesses %g", got)
+	}
+}
+
+func TestJoinAccessesUniformBand(t *testing.T) {
+	ta := uniformTree(t, 20000, 123)
+	tb := uniformTree(t, 20000, 124)
+	predicted := JoinAccesses(ta.LevelStats(), tb.LevelStats())
+	measured := float64(MeasureJoinAccesses(ta, tb))
+	ratio := predicted / measured
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("join: predicted %.0f vs measured %.0f (ratio %.2f)", predicted, measured, ratio)
+	}
+}
+
+func TestJoinAccessesDifferentHeights(t *testing.T) {
+	ta := uniformTree(t, 30000, 125)
+	tb := uniformTree(t, 300, 126)
+	if ta.Height() == tb.Height() {
+		t.Skip("trees unexpectedly equal height")
+	}
+	predicted := JoinAccesses(ta.LevelStats(), tb.LevelStats())
+	measured := float64(MeasureJoinAccesses(ta, tb))
+	if predicted <= 0 {
+		t.Fatal("no prediction for unequal heights")
+	}
+	ratio := predicted / measured
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("unequal heights: predicted %.0f vs measured %.0f (ratio %.2f)",
+			predicted, measured, ratio)
+	}
+}
+
+func TestJoinAccessesEmpty(t *testing.T) {
+	tr := uniformTree(t, 100, 127)
+	if got := JoinAccesses(nil, tr.LevelStats()); got != 0 {
+		t.Fatalf("empty join accesses %g", got)
+	}
+	if got := JoinAccesses(tr.LevelStats(), nil); got != 0 {
+		t.Fatalf("empty join accesses %g", got)
+	}
+}
+
+func TestPageReadCost(t *testing.T) {
+	if got := PageReadCost(100, 0.5); got != 50 {
+		t.Fatalf("PageReadCost = %g", got)
+	}
+	if got := PageReadCost(-5, 1); got != 0 {
+		t.Fatalf("negative accesses cost = %g", got)
+	}
+	if got := PageReadCost(math.NaN(), 1); got != 0 {
+		t.Fatalf("NaN accesses cost = %g", got)
+	}
+}
+
+func TestSkewDegradesPrediction(t *testing.T) {
+	// Documented behaviour: on clustered data the uniformity assumption
+	// misses, typically underestimating accesses for queries on the cluster.
+	d := datagen.Cluster("c", 20000, 0.3, 0.3, 0.05, 0.01, 128)
+	tr, err := rtree.BulkLoadSTR(rtree.ItemsFromRects(d.Items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewRect(0.25, 0.25, 0.35, 0.35) // on the cluster
+	predicted := RangeAccesses(tr.LevelStats(), q)
+	measured := float64(MeasureRangeAccesses(tr, q))
+	if predicted >= measured {
+		t.Skipf("prediction %.0f did not underestimate measured %.0f on this data", predicted, measured)
+	}
+}

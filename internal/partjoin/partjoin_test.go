@@ -1,0 +1,163 @@
+package partjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spatialsel/internal/geom"
+)
+
+func randRects(n int, seed int64, size float64) []geom.Rect {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Rect, n)
+	for i := range out {
+		x, y := rng.Float64(), rng.Float64()
+		out[i] = geom.NewRect(x, y, x+rng.Float64()*size, y+rng.Float64()*size)
+	}
+	return out
+}
+
+func brute(as, bs []geom.Rect) []Pair {
+	var out []Pair
+	for i, a := range as {
+		for j, b := range bs {
+			if a.Intersects(b) {
+				out = append(out, Pair{A: i, B: j})
+			}
+		}
+	}
+	return out
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	less := func(p []Pair) func(i, j int) bool {
+		return func(i, j int) bool {
+			if p[i].A != p[j].A {
+				return p[i].A < p[j].A
+			}
+			return p[i].B < p[j].B
+		}
+	}
+	sort.Slice(a, less(a))
+	sort.Slice(b, less(b))
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJoinMatchesBrute(t *testing.T) {
+	for _, dim := range []int{0, 1, 2, 7, 16} {
+		as := randRects(400, 10, 0.05)
+		bs := randRects(350, 11, 0.05)
+		got := Join(as, bs, Config{GridDim: dim})
+		want := brute(as, bs)
+		if !pairsEqual(got, want) {
+			t.Fatalf("dim=%d: got %d pairs, want %d", dim, len(got), len(want))
+		}
+		if c := Count(as, bs, Config{GridDim: dim}); c != len(want) {
+			t.Fatalf("dim=%d: Count = %d, want %d", dim, c, len(want))
+		}
+	}
+}
+
+func TestJoinNoDuplicatesAcrossCells(t *testing.T) {
+	// Large rectangles span many cells; each pair must be reported once.
+	as := randRects(100, 12, 0.5)
+	bs := randRects(100, 13, 0.5)
+	got := Join(as, bs, Config{GridDim: 8})
+	seen := make(map[Pair]int)
+	for _, p := range got {
+		seen[p]++
+		if seen[p] > 1 {
+			t.Fatalf("pair %v reported %d times", p, seen[p])
+		}
+	}
+	if !pairsEqual(got, brute(as, bs)) {
+		t.Fatalf("large-rect join incorrect: %d pairs", len(got))
+	}
+}
+
+func TestJoinWithExplicitExtent(t *testing.T) {
+	as := randRects(200, 14, 0.05)
+	bs := randRects(200, 15, 0.05)
+	got := Join(as, bs, Config{GridDim: 4, Extent: geom.NewRect(-1, -1, 2, 2)})
+	if !pairsEqual(got, brute(as, bs)) {
+		t.Fatal("explicit-extent join incorrect")
+	}
+}
+
+func TestJoinBoundaryRects(t *testing.T) {
+	// Rectangles exactly on the extent's max edges must still be claimed by
+	// some cell (the onExtentEdge rule).
+	as := []geom.Rect{geom.NewRect(0.9, 0.9, 1, 1), geom.NewRect(1, 1, 1, 1)}
+	bs := []geom.Rect{geom.NewRect(0.95, 0.95, 1, 1), geom.NewRect(1, 0, 1, 1)}
+	got := Join(as, bs, Config{GridDim: 4, Extent: geom.UnitSquare})
+	if !pairsEqual(got, brute(as, bs)) {
+		t.Fatalf("boundary join = %v, want %v", got, brute(as, bs))
+	}
+}
+
+func TestJoinEmpty(t *testing.T) {
+	rs := randRects(5, 16, 0.1)
+	if got := Join(nil, rs, Config{}); got != nil {
+		t.Fatalf("Join(nil, rs) = %v", got)
+	}
+	if got := Join(rs, nil, Config{}); got != nil {
+		t.Fatalf("Join(rs, nil) = %v", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config rejected: %v", err)
+	}
+	if err := (Config{Extent: geom.UnitSquare}).Validate(); err != nil {
+		t.Errorf("valid extent rejected: %v", err)
+	}
+	if err := (Config{Extent: geom.Rect{MinX: 1, MaxX: 0, MinY: 0, MaxY: 1}}).Validate(); err == nil {
+		t.Error("invalid extent accepted")
+	}
+	if err := (Config{Extent: geom.NewRect(0, 0, 0, 1)}).Validate(); err == nil {
+		t.Error("zero-area extent accepted")
+	}
+}
+
+func TestPropMatchesBruteClusteredLargeRects(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func() bool {
+		n := 20 + rng.Intn(100)
+		dim := 1 + rng.Intn(10)
+		mk := func() []geom.Rect {
+			cx, cy := rng.Float64(), rng.Float64()
+			out := make([]geom.Rect, n)
+			for i := range out {
+				x := cx + rng.NormFloat64()*0.2
+				y := cy + rng.NormFloat64()*0.2
+				out[i] = geom.NewRect(x, y, x+rng.Float64()*0.4, y+rng.Float64()*0.4)
+			}
+			return out
+		}
+		as, bs := mk(), mk()
+		return pairsEqual(Join(as, bs, Config{GridDim: dim}), brute(as, bs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPartitionJoin(b *testing.B) {
+	as := randRects(20000, 18, 0.005)
+	bs := randRects(20000, 19, 0.005)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Count(as, bs, Config{})
+	}
+}

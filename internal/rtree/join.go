@@ -1,0 +1,166 @@
+package rtree
+
+import (
+	"sort"
+
+	"spatialsel/internal/geom"
+)
+
+// JoinPair is one result of a spatial join: the IDs of an intersecting pair,
+// A from the left tree and B from the right tree.
+type JoinPair struct {
+	A, B int
+}
+
+// Join computes the spatial intersection join of two R-trees using the
+// synchronized depth-first traversal of Brinkhoff, Kriegel and Seeger,
+// including their two CPU optimizations: restricting each node pair's work
+// to the intersection of their MBRs, and sweeping entries in x-order instead
+// of nested loops.
+func Join(a, b *Tree) []JoinPair {
+	var out []JoinPair
+	JoinFunc(a, b, func(pa, pb int) {
+		out = append(out, JoinPair{A: pa, B: pb})
+	})
+	return out
+}
+
+// JoinCount returns only the number of intersecting pairs. This is the
+// operation selectivity estimation approximates.
+func JoinCount(a, b *Tree) int {
+	n := 0
+	JoinFunc(a, b, func(int, int) { n++ })
+	return n
+}
+
+// JoinFunc streams each intersecting (aID, bID) pair to emit. Pair order is
+// deterministic for identical trees but otherwise unspecified.
+func JoinFunc(a, b *Tree, emit func(aID, bID int)) {
+	if a.root == nil || b.root == nil {
+		return
+	}
+	ra, rb := a.root.mbr(), b.root.mbr()
+	clip, ok := ra.Intersection(rb)
+	if !ok {
+		return
+	}
+	joinNodes(a, b, a.root, b.root, clip, emit)
+}
+
+// joinNodes joins two nodes known to have intersecting MBRs; clip is the
+// intersection of their MBRs — entries outside it cannot contribute.
+func joinNodes(ta, tb *Tree, na, nb *node, clip geom.Rect, emit func(int, int)) {
+	ta.touch(na)
+	tb.touch(nb)
+	switch {
+	case na.leaf && nb.leaf:
+		sweepEntries(na.entries, nb.entries, clip, func(ea, eb *entry) {
+			emit(ea.id, eb.id)
+		})
+	case na.leaf:
+		// Descend only b.
+		for i := range nb.entries {
+			e := &nb.entries[i]
+			if sub, ok := e.rect.Intersection(clip); ok {
+				joinLeafNode(ta, tb, na, e.child, sub, false, emit)
+			}
+		}
+	case nb.leaf:
+		for i := range na.entries {
+			e := &na.entries[i]
+			if sub, ok := e.rect.Intersection(clip); ok {
+				joinLeafNode(tb, ta, nb, e.child, sub, true, emit)
+			}
+		}
+	default:
+		sweepEntries(na.entries, nb.entries, clip, func(ea, eb *entry) {
+			if sub, ok := ea.rect.Intersection(eb.rect); ok {
+				joinNodes(ta, tb, ea.child, eb.child, sub, emit)
+			}
+		})
+	}
+}
+
+// joinLeafNode joins a leaf against a subtree of the other tree (handles
+// trees of different heights). If swapped, leaf entries come from tree b and
+// emit arguments are reversed.
+func joinLeafNode(tleaf, tsub *Tree, leaf, sub *node, clip geom.Rect, swapped bool, emit func(int, int)) {
+	tsub.touch(sub)
+	if sub.leaf {
+		sweepEntries(leaf.entries, sub.entries, clip, func(el, es *entry) {
+			if swapped {
+				emit(es.id, el.id)
+			} else {
+				emit(el.id, es.id)
+			}
+		})
+		return
+	}
+	for i := range sub.entries {
+		e := &sub.entries[i]
+		if c, ok := e.rect.Intersection(clip); ok {
+			joinLeafNode(tleaf, tsub, leaf, e.child, c, swapped, emit)
+		}
+	}
+}
+
+// sweepEntries reports all intersecting entry pairs between two entry lists,
+// considering only entries that intersect clip, via a plane sweep over MinX.
+func sweepEntries(as, bs []entry, clip geom.Rect, report func(*entry, *entry)) {
+	fa := filterByClip(as, clip)
+	fb := filterByClip(bs, clip)
+	if len(fa) == 0 || len(fb) == 0 {
+		return
+	}
+	sort.Slice(fa, func(i, j int) bool { return fa[i].rect.MinX < fa[j].rect.MinX })
+	sort.Slice(fb, func(i, j int) bool { return fb[i].rect.MinX < fb[j].rect.MinX })
+	i, j := 0, 0
+	for i < len(fa) && j < len(fb) {
+		if fa[i].rect.MinX <= fb[j].rect.MinX {
+			sweepOne(fa[i], fb, j, report, false)
+			i++
+		} else {
+			sweepOne(fb[j], fa, i, report, true)
+			j++
+		}
+	}
+}
+
+// sweepOne scans candidates from index start while their MinX is within
+// pivot's x-range, reporting y-overlaps.
+func sweepOne(pivot *entry, candidates []*entry, start int, report func(*entry, *entry), swapped bool) {
+	maxX := pivot.rect.MaxX
+	for k := start; k < len(candidates) && candidates[k].rect.MinX <= maxX; k++ {
+		c := candidates[k]
+		if pivot.rect.MinY <= c.rect.MaxY && c.rect.MinY <= pivot.rect.MaxY {
+			if swapped {
+				report(c, pivot)
+			} else {
+				report(pivot, c)
+			}
+		}
+	}
+}
+
+func filterByClip(es []entry, clip geom.Rect) []*entry {
+	out := make([]*entry, 0, len(es))
+	for i := range es {
+		if es[i].rect.Intersects(clip) {
+			out = append(out, &es[i])
+		}
+	}
+	return out
+}
+
+// SelfJoin reports all intersecting pairs within a single tree, excluding
+// identity pairs and emitting each unordered pair once (with aID < bID under
+// integer comparison when IDs are distinct).
+func SelfJoin(t *Tree) []JoinPair {
+	var out []JoinPair
+	JoinFunc(t, t, func(a, b int) {
+		if a < b {
+			out = append(out, JoinPair{A: a, B: b})
+		}
+	})
+	return out
+}

@@ -1,0 +1,80 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"spatialsel/internal/geom"
+)
+
+// Nearest returns the IDs of the k items whose rectangles are closest to p
+// in minimum Euclidean distance, nearest first (ties in unspecified order).
+// It implements the classic best-first traversal over a priority queue of
+// nodes and items ordered by MINDIST. Fewer than k results are returned when
+// the tree holds fewer items.
+func (t *Tree) Nearest(p geom.Point, k int) []int {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	pq := &distQueue{}
+	heap.Push(pq, distEntry{node: t.root, dist: 0})
+	out := make([]int, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(pq).(distEntry)
+		if e.node == nil {
+			out = append(out, e.id)
+			continue
+		}
+		t.touch(e.node)
+		for _, child := range e.node.entries {
+			d := minDistSq(p, child.rect)
+			if e.node.leaf {
+				heap.Push(pq, distEntry{id: child.id, dist: d})
+			} else {
+				heap.Push(pq, distEntry{node: child.child, dist: d})
+			}
+		}
+	}
+	return out
+}
+
+// minDistSq is the squared minimum distance from p to r (zero if p is
+// inside r). Squared distances order identically to distances and avoid the
+// square root.
+func minDistSq(p geom.Point, r geom.Rect) float64 {
+	dx := 0.0
+	if p.X < r.MinX {
+		dx = r.MinX - p.X
+	} else if p.X > r.MaxX {
+		dx = p.X - r.MaxX
+	}
+	dy := 0.0
+	if p.Y < r.MinY {
+		dy = r.MinY - p.Y
+	} else if p.Y > r.MaxY {
+		dy = p.Y - r.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
+// distEntry is either a node (internal frontier) or a resolved item
+// (node == nil) queued by distance.
+type distEntry struct {
+	node *node
+	id   int
+	dist float64
+}
+
+// distQueue is a min-heap over distEntry.
+type distQueue []distEntry
+
+func (q distQueue) Len() int            { return len(q) }
+func (q distQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(distEntry)) }
+func (q *distQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,146 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"spatialsel/internal/geom"
+)
+
+// bruteNearest is the reference kNN.
+func bruteNearest(rects []geom.Rect, p geom.Point, k int) []int {
+	idx := make([]int, len(rects))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return minDistSq(p, rects[idx[a]]) < minDistSq(p, rects[idx[b]])
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// distsOf maps ids to their distances for order-insensitive comparison
+// (ties may resolve differently).
+func distsOf(rects []geom.Rect, p geom.Point, ids []int) []float64 {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = minDistSq(p, rects[id])
+	}
+	return out
+}
+
+func TestMinDistSq(t *testing.T) {
+	r := geom.NewRect(1, 1, 3, 3)
+	tests := []struct {
+		p    geom.Point
+		want float64
+	}{
+		{geom.Point{X: 2, Y: 2}, 0},  // inside
+		{geom.Point{X: 1, Y: 1}, 0},  // corner
+		{geom.Point{X: 0, Y: 2}, 1},  // left
+		{geom.Point{X: 2, Y: 5}, 4},  // above
+		{geom.Point{X: 0, Y: 0}, 2},  // diagonal
+		{geom.Point{X: 5, Y: 7}, 20}, // far diagonal
+	}
+	for _, tt := range tests {
+		if got := minDistSq(tt.p, r); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("minDistSq(%v) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	rects := randRects(2000, 200)
+	tr, _ := BulkLoadSTR(ItemsFromRects(rects), WithFanout(2, 8))
+	rng := rand.New(rand.NewSource(201))
+	for i := 0; i < 30; i++ {
+		p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		k := 1 + rng.Intn(20)
+		got := tr.Nearest(p, k)
+		want := bruteNearest(rects, p, k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: got %d results, want %d", k, len(got), len(want))
+		}
+		gd, wd := distsOf(rects, p, got), distsOf(rects, p, want)
+		for j := range gd {
+			if math.Abs(gd[j]-wd[j]) > 1e-12 {
+				t.Fatalf("k=%d result %d: dist %g, want %g", k, j, gd[j], wd[j])
+			}
+		}
+		// Results must be ordered nearest-first.
+		for j := 1; j < len(gd); j++ {
+			if gd[j] < gd[j-1]-1e-12 {
+				t.Fatalf("results out of order: %v", gd)
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	empty := MustNew()
+	if got := empty.Nearest(geom.Point{}, 5); got != nil {
+		t.Fatalf("empty Nearest = %v", got)
+	}
+	tr := MustNew()
+	tr.Insert(geom.NewRect(0.5, 0.5, 0.6, 0.6), 42)
+	if got := tr.Nearest(geom.Point{X: 0, Y: 0}, 0); got != nil {
+		t.Fatalf("k=0 Nearest = %v", got)
+	}
+	got := tr.Nearest(geom.Point{X: 0, Y: 0}, 10)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("k>n Nearest = %v", got)
+	}
+}
+
+func TestNearestOnInsertBuiltTree(t *testing.T) {
+	rects := randRects(800, 202)
+	tr, _ := BulkLoadInsert(ItemsFromRects(rects), WithFanout(2, 6))
+	p := geom.Point{X: 0.5, Y: 0.5}
+	got := tr.Nearest(p, 10)
+	want := bruteNearest(rects, p, 10)
+	gd, wd := distsOf(rects, p, got), distsOf(rects, p, want)
+	for j := range gd {
+		if math.Abs(gd[j]-wd[j]) > 1e-12 {
+			t.Fatalf("insert-built kNN dist %g, want %g", gd[j], wd[j])
+		}
+	}
+}
+
+func TestPropNearestFirstIsClosest(t *testing.T) {
+	rects := randRects(500, 203)
+	tr, _ := BulkLoadHilbert(ItemsFromRects(rects))
+	rng := rand.New(rand.NewSource(204))
+	f := func() bool {
+		p := geom.Point{X: rng.Float64() * 1.2, Y: rng.Float64() * 1.2}
+		got := tr.Nearest(p, 1)
+		if len(got) != 1 {
+			return false
+		}
+		best := minDistSq(p, rects[got[0]])
+		for _, r := range rects {
+			if minDistSq(p, r) < best-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	tr, _ := BulkLoadSTR(ItemsFromRects(randRects(50000, 205)))
+	p := geom.Point{X: 0.37, Y: 0.61}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(p, 10)
+	}
+}

@@ -1,0 +1,99 @@
+package rtree
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spatialsel/internal/geom"
+)
+
+// JoinCountParallel computes the same pair count as JoinCount using a pool
+// of workers. The synchronized traversal's top levels are expanded serially
+// into independent node-pair tasks, which workers then drain; each task's
+// subtree pair is disjoint from every other's, so counts add up without
+// coordination. workers ≤ 0 selects GOMAXPROCS.
+//
+// Node-access accounting is *not* updated by the parallel join (the counters
+// are not synchronized); use JoinCount when accesses matter. Both trees may
+// be shared with concurrent readers but not writers.
+func JoinCountParallel(a, b *Tree, workers int) int {
+	if a.root == nil || b.root == nil {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	clip, ok := a.root.mbr().Intersection(b.root.mbr())
+	if !ok {
+		return 0
+	}
+	type task struct {
+		na, nb *node
+		clip   geom.Rect
+	}
+	tasks := []task{{na: a.root, nb: b.root, clip: clip}}
+	// Expand breadth-first until there are enough tasks to balance the pool.
+	// Each round splits every expandable task one level on its larger side.
+	for len(tasks) < workers*8 {
+		next := make([]task, 0, len(tasks)*4)
+		expanded := false
+		for _, tk := range tasks {
+			switch {
+			case !tk.na.leaf && (tk.nb.leaf || len(tk.na.entries) >= len(tk.nb.entries)):
+				for i := range tk.na.entries {
+					e := &tk.na.entries[i]
+					if c, ok := e.rect.Intersection(tk.clip); ok {
+						next = append(next, task{na: e.child, nb: tk.nb, clip: c})
+					}
+				}
+				expanded = true
+			case !tk.nb.leaf:
+				for i := range tk.nb.entries {
+					e := &tk.nb.entries[i]
+					if c, ok := e.rect.Intersection(tk.clip); ok {
+						next = append(next, task{na: tk.na, nb: e.child, clip: c})
+					}
+				}
+				expanded = true
+			default:
+				next = append(next, tk)
+			}
+		}
+		tasks = next
+		if !expanded {
+			break
+		}
+	}
+
+	var total int64
+	var wg sync.WaitGroup
+	ch := make(chan task)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Shadow trees absorb the traversal's access counting without
+			// racing on the real counters.
+			sa, sb := &Tree{}, &Tree{}
+			local := 0
+			for tk := range ch {
+				switch {
+				case tk.na.leaf && tk.nb.leaf:
+					sweepEntries(tk.na.entries, tk.nb.entries, tk.clip, func(_, _ *entry) {
+						local++
+					})
+				default:
+					joinNodes(sa, sb, tk.na, tk.nb, tk.clip, func(_, _ int) { local++ })
+				}
+			}
+			atomic.AddInt64(&total, int64(local))
+		}()
+	}
+	for _, tk := range tasks {
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
+	return int(total)
+}

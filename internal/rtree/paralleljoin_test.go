@@ -1,0 +1,75 @@
+package rtree
+
+import (
+	"testing"
+)
+
+func TestJoinCountParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		na, nb int
+	}{
+		{"small", 200, 150},
+		{"medium", 5000, 4000},
+		{"asymmetric", 8000, 300},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			as := randRects(tc.na, 230)
+			bs := randRects(tc.nb, 231)
+			ta, _ := BulkLoadSTR(ItemsFromRects(as), WithFanout(2, 8))
+			tb, _ := BulkLoadSTR(ItemsFromRects(bs), WithFanout(2, 8))
+			want := JoinCount(ta, tb)
+			for _, workers := range []int{0, 1, 2, 4, 16} {
+				if got := JoinCountParallel(ta, tb, workers); got != want {
+					t.Fatalf("workers=%d: %d, want %d", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestJoinCountParallelInsertBuilt(t *testing.T) {
+	// Insertion-built trees have different shapes (heights, fills) — the
+	// task expansion must handle them too.
+	as := randRects(3000, 232)
+	bs := randRects(2500, 233)
+	ta, _ := BulkLoadInsert(ItemsFromRects(as), WithFanout(2, 6))
+	tb, _ := BulkLoadInsert(ItemsFromRects(bs), WithFanout(2, 6))
+	if got, want := JoinCountParallel(ta, tb, 4), JoinCount(ta, tb); got != want {
+		t.Fatalf("parallel %d, serial %d", got, want)
+	}
+}
+
+func TestJoinCountParallelEdgeCases(t *testing.T) {
+	empty := MustNew()
+	full, _ := BulkLoadSTR(ItemsFromRects(randRects(100, 234)))
+	if got := JoinCountParallel(empty, full, 4); got != 0 {
+		t.Fatalf("empty parallel join = %d", got)
+	}
+	if got := JoinCountParallel(full, empty, 4); got != 0 {
+		t.Fatalf("parallel join empty = %d", got)
+	}
+	// Single-item trees.
+	one := MustNew()
+	one.Insert(randRects(1, 235)[0], 0)
+	if got, want := JoinCountParallel(one, full, 4), JoinCount(one, full); got != want {
+		t.Fatalf("single-item parallel = %d, want %d", got, want)
+	}
+}
+
+func BenchmarkJoinCountParallel(b *testing.B) {
+	as := randRects(60000, 236)
+	bs := randRects(60000, 237)
+	ta, _ := BulkLoadSTR(ItemsFromRects(as))
+	tb, _ := BulkLoadSTR(ItemsFromRects(bs))
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			JoinCount(ta, tb)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			JoinCountParallel(ta, tb, 0)
+		}
+	})
+}

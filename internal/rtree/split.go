@@ -1,0 +1,242 @@
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spatialsel/internal/geom"
+)
+
+// SplitPolicy selects the node-splitting algorithm used by Insert.
+type SplitPolicy int
+
+const (
+	// QuadraticSplit is Guttman's quadratic algorithm (the default): pick
+	// the pair of entries wasting the most area as seeds, then assign each
+	// remaining entry to the group whose MBR grows least.
+	QuadraticSplit SplitPolicy = iota
+	// LinearSplit is Guttman's linear algorithm: seeds are the entries with
+	// the greatest normalized separation along either axis; assignment is as
+	// in the quadratic algorithm but without the max-difference scan. Faster
+	// splits, generally worse trees.
+	LinearSplit
+	// RStarSplit is the split of the R*-tree (Beckmann et al., SIGMOD 1990,
+	// without forced reinsertion): choose the split axis by minimum total
+	// margin over all distributions, then the distribution with minimum
+	// overlap (ties by minimum area). Slower splits, generally better trees.
+	RStarSplit
+)
+
+// String implements fmt.Stringer.
+func (p SplitPolicy) String() string {
+	switch p {
+	case QuadraticSplit:
+		return "quadratic"
+	case LinearSplit:
+		return "linear"
+	case RStarSplit:
+		return "rstar"
+	}
+	return fmt.Sprintf("SplitPolicy(%d)", int(p))
+}
+
+// WithSplitPolicy selects the split algorithm for insertion builds.
+func WithSplitPolicy(p SplitPolicy) Option {
+	return func(t *Tree) error {
+		if p != QuadraticSplit && p != LinearSplit && p != RStarSplit {
+			return fmt.Errorf("rtree: unknown split policy %d", int(p))
+		}
+		t.split = p
+		return nil
+	}
+}
+
+// SplitPolicyUsed returns the tree's configured split policy.
+func (t *Tree) SplitPolicyUsed() SplitPolicy { return t.split }
+
+// dispatchSplit routes to the configured policy.
+func (t *Tree) dispatchSplit(n *node) (left, right *node) {
+	switch t.split {
+	case LinearSplit:
+		return t.splitNodeLinear(n)
+	case RStarSplit:
+		return t.splitNodeRStar(n)
+	default:
+		return t.splitNode(n)
+	}
+}
+
+// splitNodeLinear implements Guttman's linear split.
+func (t *Tree) splitNodeLinear(n *node) (left, right *node) {
+	entries := n.entries
+	// Pick seeds by greatest normalized separation on either axis.
+	lowX, highX := 0, 0 // entry with highest MinX, lowest MaxX
+	lowY, highY := 0, 0
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i, e := range entries {
+		if e.rect.MinX > entries[highX].rect.MinX {
+			highX = i
+		}
+		if e.rect.MaxX < entries[lowX].rect.MaxX {
+			lowX = i
+		}
+		if e.rect.MinY > entries[highY].rect.MinY {
+			highY = i
+		}
+		if e.rect.MaxY < entries[lowY].rect.MaxY {
+			lowY = i
+		}
+		minX = math.Min(minX, e.rect.MinX)
+		maxX = math.Max(maxX, e.rect.MaxX)
+		minY = math.Min(minY, e.rect.MinY)
+		maxY = math.Max(maxY, e.rect.MaxY)
+	}
+	sepX, sepY := 0.0, 0.0
+	if w := maxX - minX; w > 0 {
+		sepX = (entries[highX].rect.MinX - entries[lowX].rect.MaxX) / w
+	}
+	if h := maxY - minY; h > 0 {
+		sepY = (entries[highY].rect.MinY - entries[lowY].rect.MaxY) / h
+	}
+	seedA, seedB := lowX, highX
+	if sepY > sepX {
+		seedA, seedB = lowY, highY
+	}
+	if seedA == seedB { // all identical; fall back to first two
+		seedA, seedB = 0, 1
+	}
+	return t.distributeFromSeeds(n, seedA, seedB)
+}
+
+// distributeFromSeeds shares the quadratic algorithm's assignment phase:
+// entries go to the group whose MBR grows least, except when one group must
+// take everything left to reach the minimum fill.
+func (t *Tree) distributeFromSeeds(n *node, seedA, seedB int) (left, right *node) {
+	entries := n.entries
+	left = &node{leaf: n.leaf, entries: []entry{entries[seedA]}}
+	right = &node{leaf: n.leaf, entries: []entry{entries[seedB]}}
+	lm, rm := entries[seedA].rect, entries[seedB].rect
+	remaining := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, e)
+		}
+	}
+	for idx, e := range remaining {
+		rest := len(remaining) - idx
+		if len(left.entries)+rest == t.minEntries {
+			left.entries = append(left.entries, remaining[idx:]...)
+			break
+		}
+		if len(right.entries)+rest == t.minEntries {
+			right.entries = append(right.entries, remaining[idx:]...)
+			break
+		}
+		dl, dr := lm.Enlargement(e.rect), rm.Enlargement(e.rect)
+		if dl < dr || (dl == dr && len(left.entries) <= len(right.entries)) {
+			left.entries = append(left.entries, e)
+			lm = lm.Union(e.rect)
+		} else {
+			right.entries = append(right.entries, e)
+			rm = rm.Union(e.rect)
+		}
+	}
+	return left, right
+}
+
+// splitNodeRStar implements the R* split: choose the axis minimizing the
+// summed margins of all candidate distributions, then the distribution on
+// that axis with minimal overlap (ties: minimal total area).
+func (t *Tree) splitNodeRStar(n *node) (left, right *node) {
+	entries := make([]entry, len(n.entries))
+	copy(entries, n.entries)
+	m := t.minEntries
+	total := len(entries)
+
+	type distribution struct {
+		k       int // left group takes entries[:k]
+		byLower bool
+		axisX   bool
+		margin  float64
+		overlap float64
+		area    float64
+	}
+	evalAxis := func(axisX bool) (float64, []distribution) {
+		var dists []distribution
+		marginSum := 0.0
+		for _, byLower := range []bool{true, false} {
+			sort.SliceStable(entries, func(i, j int) bool {
+				a, b := entries[i].rect, entries[j].rect
+				switch {
+				case axisX && byLower:
+					return a.MinX < b.MinX
+				case axisX:
+					return a.MaxX < b.MaxX
+				case byLower:
+					return a.MinY < b.MinY
+				default:
+					return a.MaxY < b.MaxY
+				}
+			})
+			for k := m; k <= total-m; k++ {
+				lm := mbrOf(entries[:k])
+				rm := mbrOf(entries[k:])
+				d := distribution{
+					k: k, byLower: byLower, axisX: axisX,
+					margin:  lm.Perimeter() + rm.Perimeter(),
+					overlap: lm.IntersectionArea(rm),
+					area:    lm.Area() + rm.Area(),
+				}
+				marginSum += d.margin
+				dists = append(dists, d)
+			}
+		}
+		return marginSum, dists
+	}
+
+	marginX, _ := evalAxis(true)
+	marginY, distsY := evalAxis(false)
+	axisX := marginX < marginY
+	var dists []distribution
+	if axisX {
+		_, dists = evalAxis(true) // re-evaluate to leave entries sorted on X
+	} else {
+		dists = distsY // entries are already sorted by the last Y pass
+	}
+	// Pick the best distribution on the chosen axis.
+	best := dists[0]
+	for _, d := range dists[1:] {
+		if d.overlap < best.overlap || (d.overlap == best.overlap && d.area < best.area) {
+			best = d
+		}
+	}
+	// Re-sort to the winning ordering and cut.
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i].rect, entries[j].rect
+		switch {
+		case best.axisX && best.byLower:
+			return a.MinX < b.MinX
+		case best.axisX:
+			return a.MaxX < b.MaxX
+		case best.byLower:
+			return a.MinY < b.MinY
+		default:
+			return a.MaxY < b.MaxY
+		}
+	})
+	leftEntries := make([]entry, best.k)
+	copy(leftEntries, entries[:best.k])
+	rightEntries := make([]entry, total-best.k)
+	copy(rightEntries, entries[best.k:])
+	return &node{leaf: n.leaf, entries: leftEntries}, &node{leaf: n.leaf, entries: rightEntries}
+}
+
+func mbrOf(es []entry) geom.Rect {
+	m := es[0].rect
+	for _, e := range es[1:] {
+		m = m.Union(e.rect)
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+package rtree
+
+import (
+	"strings"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+func TestSplitPolicyStrings(t *testing.T) {
+	if QuadraticSplit.String() != "quadratic" || LinearSplit.String() != "linear" ||
+		RStarSplit.String() != "rstar" {
+		t.Error("policy names wrong")
+	}
+	if !strings.Contains(SplitPolicy(42).String(), "42") {
+		t.Error("unknown policy String")
+	}
+}
+
+func TestWithSplitPolicyValidation(t *testing.T) {
+	if _, err := New(WithSplitPolicy(SplitPolicy(9))); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	tr, err := New(WithSplitPolicy(RStarSplit))
+	if err != nil || tr.SplitPolicyUsed() != RStarSplit {
+		t.Fatalf("policy not applied: %v, %v", tr.SplitPolicyUsed(), err)
+	}
+	if MustNew().SplitPolicyUsed() != QuadraticSplit {
+		t.Fatal("default policy not quadratic")
+	}
+}
+
+// TestAllPoliciesCorrect runs the full correctness battery under every
+// policy: invariants after every insert, query equivalence with brute force,
+// and delete round-trips.
+func TestAllPoliciesCorrect(t *testing.T) {
+	for _, policy := range []SplitPolicy{QuadraticSplit, LinearSplit, RStarSplit} {
+		t.Run(policy.String(), func(t *testing.T) {
+			tr := MustNew(WithFanout(2, 6), WithSplitPolicy(policy))
+			rects := randRects(600, 210)
+			for i, r := range rects {
+				tr.Insert(r, i)
+				if i%100 == 0 {
+					if err := tr.checkInvariants(); err != nil {
+						t.Fatalf("after insert %d: %v", i, err)
+					}
+				}
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range randRects(20, 211) {
+				if !sortedEqual(tr.Search(q, nil), bruteSearch(rects, q)) {
+					t.Fatalf("Search mismatch for %v", q)
+				}
+			}
+			// Delete half and re-verify.
+			for i := 0; i < 300; i++ {
+				if !tr.Delete(rects[i], i) {
+					t.Fatalf("Delete(%d) failed", i)
+				}
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if tr.Len() != 300 {
+				t.Fatalf("Len = %d", tr.Len())
+			}
+		})
+	}
+}
+
+// TestAllPoliciesDuplicates stresses the degenerate all-identical case that
+// breaks naive seed selection.
+func TestAllPoliciesDuplicates(t *testing.T) {
+	for _, policy := range []SplitPolicy{QuadraticSplit, LinearSplit, RStarSplit} {
+		t.Run(policy.String(), func(t *testing.T) {
+			tr := MustNew(WithFanout(2, 4), WithSplitPolicy(policy))
+			r := geom.NewRect(0.5, 0.5, 0.6, 0.6)
+			for i := 0; i < 60; i++ {
+				tr.Insert(r, i)
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(tr.Search(r, nil)); got != 60 {
+				t.Fatalf("found %d duplicates, want 60", got)
+			}
+		})
+	}
+}
+
+// TestRStarProducesTighterNodes checks the quality claim motivating R*: on
+// skewed data its insertion build yields nodes with less total overlap than
+// the linear split (measured via search accesses on point probes).
+func TestRStarProducesTighterNodes(t *testing.T) {
+	rects := clusteredRects(4000, 212)
+	probeCost := func(policy SplitPolicy) int64 {
+		tr := MustNew(WithFanout(10, 25), WithSplitPolicy(policy))
+		for i, r := range rects {
+			tr.Insert(r, i)
+		}
+		tr.ResetAccesses()
+		for _, q := range randRects(200, 213) {
+			tr.Count(q)
+		}
+		return tr.Accesses()
+	}
+	rstar := probeCost(RStarSplit)
+	linear := probeCost(LinearSplit)
+	if rstar >= linear {
+		t.Errorf("R* probes (%d) not cheaper than linear (%d)", rstar, linear)
+	}
+}
+
+func clusteredRects(n int, seed int64) []geom.Rect {
+	rs := randRects(n, seed)
+	// Compress into clusters: map x to x² (denser near 0).
+	for i, r := range rs {
+		rs[i] = geom.NewRect(r.MinX*r.MinX, r.MinY*r.MinY,
+			r.MinX*r.MinX+r.Width()*0.3, r.MinY*r.MinY+r.Height()*0.3)
+	}
+	return rs
+}
+
+func BenchmarkInsertSplitPolicies(b *testing.B) {
+	rects := randRects(5000, 214)
+	for _, policy := range []SplitPolicy{QuadraticSplit, LinearSplit, RStarSplit} {
+		b.Run(policy.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := MustNew(WithSplitPolicy(policy))
+				for j, r := range rects {
+					tr.Insert(r, j)
+				}
+			}
+		})
+	}
+}

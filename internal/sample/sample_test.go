@@ -1,0 +1,286 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"spatialsel/internal/core"
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, frac := range []float64{0, -0.1, 1.1} {
+		if _, err := New(RS, frac); err == nil {
+			t.Errorf("fraction %g accepted", frac)
+		}
+	}
+	if _, err := New(Method(99), 0.5); err == nil {
+		t.Error("unknown method accepted")
+	}
+	tech, err := New(RSWR, 0.1, WithSeed(7), WithStrategy(SweepJoin))
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if tech.seed != 7 || tech.strategy != SweepJoin {
+		t.Fatalf("options not applied: %+v", tech)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic")
+		}
+	}()
+	MustNew(RS, 0)
+}
+
+func TestNames(t *testing.T) {
+	if got := MustNew(RS, 0.1).Name(); got != "RS(10%)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := MustNew(RSWR, 0.001).Name(); got != "RSWR(0.1%)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := Full(SS).Name(); got != "SS(100%)" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := Method(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown method String = %q", got)
+	}
+	if RTreeJoin.String() != "rtree" || SweepJoin.String() != "sweep" {
+		t.Error("JoinStrategy strings wrong")
+	}
+}
+
+func TestSampleSizes(t *testing.T) {
+	d := datagen.Uniform("d", 1000, 0.01, 1)
+	for _, m := range []Method{RS, RSWR, SS} {
+		for _, frac := range []float64{0.001, 0.01, 0.1, 0.5, 1} {
+			tech := MustNew(m, frac)
+			s, err := tech.Build(d)
+			if err != nil {
+				t.Fatalf("%v(%g): %v", m, frac, err)
+			}
+			smp := s.(*Summary)
+			want := int(math.Round(frac * 1000))
+			if want < 1 {
+				want = 1
+			}
+			if smp.SampleSize() != want {
+				t.Errorf("%v(%g): sample size %d, want %d", m, frac, smp.SampleSize(), want)
+			}
+			if smp.ItemCount() != 1000 {
+				t.Errorf("%v(%g): ItemCount %d", m, frac, smp.ItemCount())
+			}
+			if smp.DatasetName() != "d" {
+				t.Errorf("DatasetName = %q", smp.DatasetName())
+			}
+			if smp.SizeBytes() <= 0 {
+				t.Errorf("SizeBytes = %d", smp.SizeBytes())
+			}
+		}
+	}
+}
+
+func TestBuildEmptyDataset(t *testing.T) {
+	d := dataset.New("e", geom.UnitSquare, nil)
+	if _, err := MustNew(RS, 0.1).Build(d); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestRSDeterministicStride(t *testing.T) {
+	items := make([]geom.Rect, 10)
+	for i := range items {
+		x := float64(i) / 10
+		items[i] = geom.NewRect(x, 0, x+0.05, 0.05)
+	}
+	d := dataset.New("d", geom.UnitSquare, items)
+	s, err := MustNew(RS, 0.3).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp := s.(*Summary)
+	// n=3, k=ceil(10/3)=4 → items 0,4,8.
+	if smp.SampleSize() != 3 {
+		t.Fatalf("size = %d", smp.SampleSize())
+	}
+	for i, wantIdx := range []int{0, 4, 8} {
+		if smp.sample[i] != items[wantIdx] {
+			t.Errorf("sample[%d] = %v, want item %d", i, smp.sample[i], wantIdx)
+		}
+	}
+}
+
+func TestSSOrdersByHilbert(t *testing.T) {
+	// SS over a fraction-1 sample returns all items; with a small fraction it
+	// must pick items spread across space, unlike RS over an adversarial
+	// ordering. Construct a dataset ordered so plain RS picks only the left
+	// half, and verify SS picks from both halves.
+	var items []geom.Rect
+	for i := 0; i < 50; i++ { // left cluster first
+		x := 0.1 + float64(i)*0.001
+		items = append(items, geom.NewRect(x, 0.5, x+0.0005, 0.5005))
+	}
+	for i := 0; i < 50; i++ { // right cluster second
+		x := 0.9 + float64(i)*0.001
+		items = append(items, geom.NewRect(x, 0.5, x+0.0005, 0.5005))
+	}
+	d := dataset.New("d", geom.UnitSquare, items)
+	s, err := MustNew(SS, 0.1).Build(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := 0, 0
+	for _, r := range s.(*Summary).sample {
+		if r.MinX < 0.5 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Fatalf("SS sample not spatially balanced: left=%d right=%d", left, right)
+	}
+}
+
+func TestRSWRSeedControl(t *testing.T) {
+	d := datagen.Uniform("d", 500, 0.01, 2)
+	s1, _ := MustNew(RSWR, 0.1, WithSeed(1)).Build(d)
+	s2, _ := MustNew(RSWR, 0.1, WithSeed(1)).Build(d)
+	s3, _ := MustNew(RSWR, 0.1, WithSeed(2)).Build(d)
+	a, b, c := s1.(*Summary).sample, s2.(*Summary).sample, s3.(*Summary).sample
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different samples")
+		}
+	}
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds, identical samples")
+	}
+}
+
+func TestFullSampleEstimateIsExact(t *testing.T) {
+	// With fraction 1 on both sides the estimate must equal the true
+	// selectivity exactly.
+	a := datagen.Uniform("a", 400, 0.05, 3)
+	b := datagen.Uniform("b", 300, 0.05, 4)
+	truth := core.ComputeGroundTruth(a, b)
+	for _, strat := range []JoinStrategy{RTreeJoin, SweepJoin} {
+		tech := Full(RS, WithStrategy(strat))
+		res, err := core.Run(tech, a, b, truth)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if math.Abs(res.Estimate.Selectivity-truth.Selectivity) > 1e-12 {
+			t.Fatalf("%v: full-sample selectivity %g != truth %g",
+				strat, res.Estimate.Selectivity, truth.Selectivity)
+		}
+		if res.ErrorPct > 1e-9 {
+			t.Fatalf("%v: ErrorPct = %g", strat, res.ErrorPct)
+		}
+	}
+}
+
+func TestSamplingAccuracyOnUniformData(t *testing.T) {
+	// A 10% sample of uniform data should land within a loose error band.
+	a := datagen.Uniform("a", 5000, 0.02, 5)
+	b := datagen.Uniform("b", 5000, 0.02, 6)
+	truth := core.ComputeGroundTruth(a, b)
+	if truth.PairCount == 0 {
+		t.Fatal("test setup: empty join")
+	}
+	for _, m := range []Method{RS, RSWR, SS} {
+		res, err := core.Run(MustNew(m, 0.1), a, b, truth)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.ErrorPct > 35 {
+			t.Errorf("%v: error %.1f%% too high for uniform data", m, res.ErrorPct)
+		}
+	}
+}
+
+func TestEstimateRejectsForeignSummaries(t *testing.T) {
+	tech := MustNew(RS, 0.1)
+	if _, err := tech.Estimate(fakeSummary{}, fakeSummary{}); err != core.ErrSummaryMismatch {
+		t.Fatalf("foreign summary err = %v", err)
+	}
+	// Strategy mismatch: summary built without a tree fed to an R-tree
+	// technique.
+	d := datagen.Uniform("d", 100, 0.05, 7)
+	sweepSummary, _ := MustNew(RS, 0.1, WithStrategy(SweepJoin)).Build(d)
+	if _, err := tech.Estimate(sweepSummary, sweepSummary); err != core.ErrSummaryMismatch {
+		t.Fatalf("strategy mismatch err = %v", err)
+	}
+}
+
+type fakeSummary struct{}
+
+func (fakeSummary) DatasetName() string { return "f" }
+func (fakeSummary) ItemCount() int      { return 1 }
+func (fakeSummary) SizeBytes() int64    { return 0 }
+
+func TestAsymmetric(t *testing.T) {
+	asym, err := NewAsymmetric(RSWR, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := asym.Name(); got != "RSWR(10%/100%)" {
+		t.Errorf("Name = %q", got)
+	}
+	a := datagen.Uniform("a", 2000, 0.02, 8)
+	b := datagen.Uniform("b", 2000, 0.02, 9)
+	truth := core.ComputeGroundTruth(a, b)
+	sa, err := asym.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := asym.BuildRight(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.(*Summary).SampleSize() != 2000 {
+		t.Fatalf("right side not full: %d", sb.(*Summary).SampleSize())
+	}
+	est, err := asym.Estimate(sa, sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBand(est.Selectivity, truth.Selectivity, 0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewAsymmetric(RS, 0, 1); err == nil {
+		t.Error("bad left fraction accepted")
+	}
+	if _, err := NewAsymmetric(RS, 1, 2); err == nil {
+		t.Error("bad right fraction accepted")
+	}
+}
+
+func checkBand(got, want, tol float64) error {
+	if want == 0 {
+		return nil
+	}
+	if rel := math.Abs(got-want) / want; rel > tol {
+		return fmt.Errorf("estimate %g vs truth %g (rel %.2f)", got, want, rel)
+	}
+	return nil
+}
+
+func TestFractionAccessor(t *testing.T) {
+	if got := MustNew(RS, 0.25).Fraction(); got != 0.25 {
+		t.Fatalf("Fraction = %g", got)
+	}
+}

@@ -1,0 +1,158 @@
+package sdb
+
+import (
+	"fmt"
+	"testing"
+
+	"spatialsel/internal/datagen"
+)
+
+// bigCatalog builds a catalog with five tables of varied skew so join-order
+// choices matter.
+func bigCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := NewCatalogAtLevel(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() error{
+		func() error {
+			_, err := c.Create(datagen.Cluster("t1", 2000, 0.3, 0.3, 0.08, 0.01, 310))
+			return err
+		},
+		func() error {
+			_, err := c.Create(datagen.Cluster("t2", 1500, 0.32, 0.32, 0.1, 0.01, 311))
+			return err
+		},
+		func() error {
+			_, err := c.Create(datagen.Uniform("t3", 2500, 0.01, 312))
+			return err
+		},
+		func() error {
+			_, err := c.Create(datagen.Cluster("t4", 1000, 0.7, 0.7, 0.06, 0.01, 313))
+			return err
+		},
+		func() error {
+			_, err := c.Create(datagen.Uniform("t5", 800, 0.02, 314))
+			return err
+		},
+	} {
+		if err := mk(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestPlanDPValidation(t *testing.T) {
+	c := bigCatalog(t)
+	if _, err := c.PlanDP(Query{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// Too many tables rejected with guidance.
+	q := Query{}
+	for i := 0; i < MaxDPTables+1; i++ {
+		q.Tables = append(q.Tables, fmt.Sprintf("x%d", i))
+	}
+	q.Predicates = []Predicate{{q.Tables[0], q.Tables[1]}}
+	if _, err := c.PlanDP(q); err == nil {
+		t.Fatal("oversized query accepted")
+	}
+}
+
+func TestPlanDPNeverWorseThanGreedy(t *testing.T) {
+	c := bigCatalog(t)
+	queries := []Query{
+		{
+			Tables:     []string{"t1", "t2", "t3"},
+			Predicates: []Predicate{{"t1", "t2"}, {"t2", "t3"}},
+		},
+		{
+			Tables:     []string{"t1", "t2", "t3", "t4"},
+			Predicates: []Predicate{{"t1", "t2"}, {"t2", "t3"}, {"t3", "t4"}},
+		},
+		{
+			Tables: []string{"t1", "t2", "t3", "t4", "t5"},
+			Predicates: []Predicate{
+				{"t1", "t2"}, {"t2", "t3"}, {"t3", "t4"}, {"t4", "t5"}, {"t1", "t5"},
+			},
+		},
+	}
+	for i, q := range queries {
+		greedy, err := c.Plan(q)
+		if err != nil {
+			t.Fatalf("query %d greedy: %v", i, err)
+		}
+		dp, err := c.PlanDP(q)
+		if err != nil {
+			t.Fatalf("query %d dp: %v", i, err)
+		}
+		if dp.EstCost > greedy.EstCost*(1+1e-9) {
+			t.Errorf("query %d: DP cost %.1f exceeds greedy %.1f\nDP:\n%s\nGreedy:\n%s",
+				i, dp.EstCost, greedy.EstCost, dp.Explain(), greedy.Explain())
+		}
+	}
+}
+
+func TestPlanDPExecutesSameResult(t *testing.T) {
+	c := bigCatalog(t)
+	q := Query{
+		Tables:     []string{"t1", "t2", "t3"},
+		Predicates: []Predicate{{"t1", "t2"}, {"t2", "t3"}},
+	}
+	greedy, err := c.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := c.PlanDP(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := greedy.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := dp.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Len() != rd.Len() {
+		t.Fatalf("greedy result %d rows, DP result %d rows", rg.Len(), rd.Len())
+	}
+	// Normalize both to query column order and compare as sets.
+	ng := normalizeRows(rg, q.Tables)
+	nd := normalizeRows(rd, q.Tables)
+	if !rowsEqual(ng, nd) {
+		t.Fatal("greedy and DP plans produced different result sets")
+	}
+}
+
+func TestPlanDPExplain(t *testing.T) {
+	c := bigCatalog(t)
+	q := Query{
+		Tables:     []string{"t1", "t2", "t3", "t4"},
+		Predicates: []Predicate{{"t1", "t2"}, {"t2", "t3"}, {"t3", "t4"}},
+	}
+	dp, err := c.PlanDP(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dp.Explain()
+	if out == "" || len(dp.Steps) != 3 {
+		t.Fatalf("DP plan malformed: steps=%d\n%s", len(dp.Steps), out)
+	}
+	// Every table appears exactly once (base + steps).
+	seen := map[string]bool{dp.Base: true}
+	for _, s := range dp.Steps {
+		if seen[s.Table] {
+			t.Fatalf("table %s joined twice", s.Table)
+		}
+		seen[s.Table] = true
+		if len(s.Against) == 0 {
+			t.Fatalf("step %s has no predicates", s.Table)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("plan covers %d tables", len(seen))
+	}
+}

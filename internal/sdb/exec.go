@@ -1,0 +1,176 @@
+package sdb
+
+import (
+	"fmt"
+
+	"spatialsel/internal/geom"
+	"spatialsel/internal/rtree"
+)
+
+// Result is a materialized join result: one column of item indices per
+// table, in Columns order; Rows[i][j] indexes into the Columns[j] table's
+// Data.Items.
+type Result struct {
+	Columns []string
+	Rows    [][]int
+}
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Execute runs the plan and materializes the result. The first join runs as
+// a synchronized R-tree join; every subsequent table is joined in by probing
+// its R-tree with the rectangle of each row's connecting item, verifying any
+// additional predicates directly.
+func (p *Plan) Execute() (*Result, error) {
+	c := p.catalog
+	q := p.query
+
+	// Per-table windows applied as row filters.
+	passes := func(table string, id int) (bool, error) {
+		w, ok := q.Windows[table]
+		if !ok {
+			return true, nil
+		}
+		t, err := c.Table(table)
+		if err != nil {
+			return false, err
+		}
+		return t.Data.Items[id].Intersects(w), nil
+	}
+
+	// Column layout: base table first, then each step's table.
+	cols := []string{p.Base}
+	colOf := map[string]int{p.Base: 0}
+	for _, s := range p.Steps {
+		colOf[s.Table] = len(cols)
+		cols = append(cols, s.Table)
+	}
+
+	// First join via synchronized R-tree traversal.
+	first := p.Steps[0]
+	baseTab, err := c.Table(p.Base)
+	if err != nil {
+		return nil, err
+	}
+	stepTab, err := c.Table(first.Table)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]int
+	var ferr error
+	rtree.JoinFunc(baseTab.Index, stepTab.Index, func(a, b int) {
+		if ferr != nil {
+			return
+		}
+		okA, err := passes(p.Base, a)
+		if err != nil {
+			ferr = err
+			return
+		}
+		okB, err := passes(first.Table, b)
+		if err != nil {
+			ferr = err
+			return
+		}
+		if okA && okB {
+			row := make([]int, len(cols))
+			for i := range row {
+				row[i] = -1
+			}
+			row[0], row[1] = a, b
+			rows = append(rows, row)
+		}
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+
+	// Extension steps: index probes per row.
+	var probe []int
+	for _, s := range p.Steps[1:] {
+		tab, err := c.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		col := colOf[s.Table]
+		var next [][]int
+		for _, row := range rows {
+			// Probe with the first predicate's connecting item; verify the
+			// rest per candidate.
+			drive, rest, err := splitPredicates(s, colOf, row, c, q)
+			if err != nil {
+				return nil, err
+			}
+			probe = tab.Index.Search(drive, probe[:0])
+			for _, cand := range probe {
+				ok, err := passes(s.Table, cand)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+				if !verify(rest, tab.Data.Items[cand]) {
+					continue
+				}
+				out := make([]int, len(row))
+				copy(out, row)
+				out[col] = cand
+				next = append(next, out)
+			}
+		}
+		rows = next
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// splitPredicates resolves a step's predicates against a row: the first
+// becomes the index probe rectangle, the others become verification
+// rectangles that the candidate item must intersect.
+func splitPredicates(s Step, colOf map[string]int, row []int, c *Catalog, q Query) (drive geom.Rect, rest []geom.Rect, err error) {
+	for i, pred := range s.Against {
+		other := pred.Left
+		if other == s.Table {
+			other = pred.Right
+		}
+		tab, err := c.Table(other)
+		if err != nil {
+			return geom.Rect{}, nil, err
+		}
+		id := row[colOf[other]]
+		if id < 0 {
+			return geom.Rect{}, nil, fmt.Errorf("sdb: internal: predicate %s references unjoined table", pred)
+		}
+		r := tab.Data.Items[id]
+		if i == 0 {
+			drive = r
+		} else {
+			rest = append(rest, r)
+		}
+	}
+	return drive, rest, nil
+}
+
+func verify(rects []geom.Rect, candidate geom.Rect) bool {
+	for _, r := range rects {
+		if !candidate.Intersects(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count plans and executes in one call, returning only the result
+// cardinality — the number selectivity estimation approximates.
+func (c *Catalog) Count(q Query) (int, error) {
+	plan, err := c.Plan(q)
+	if err != nil {
+		return 0, err
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		return 0, err
+	}
+	return res.Len(), nil
+}
