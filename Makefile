@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: all build test race vet cover bench experiments examples clean
+.PHONY: all check build test race race-all vet cover bench experiments examples clean
 
-all: build test
+all: check
+
+# Default verification path: compile everything, vet, run the full test
+# suite, then race-check the concurrent packages (the HTTP server and the
+# mini-DBMS it serves).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -10,7 +15,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-check the packages with real concurrency: the HTTP service layer and
+# the catalog/executor underneath it.
 race:
+	$(GO) test -race ./internal/server/... ./internal/sdb/...
+
+race-all:
 	$(GO) test -race ./...
 
 vet:

@@ -1,0 +1,102 @@
+// Command sdbd is the spatial mini-database daemon: it serves the catalog,
+// GH-statistics estimation, planner, and executor over an HTTP JSON API.
+//
+//	$ go run ./cmd/sdbd -addr :8080
+//	$ curl -s localhost:8080/healthz
+//	$ curl -s -X POST localhost:8080/v1/tables -d '{"name":"roads","generator":{"kind":"polyline","n":50000,"seed":7}}'
+//	$ curl -s -X POST localhost:8080/v1/estimate -d '{"left":"roads","right":"streams"}'
+//
+// See the README's "Running the server" section for the full endpoint tour.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sdbd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags and serves until SIGINT/SIGTERM; split from main so tests
+// can drive it.
+func run(args []string, logw *os.File) error {
+	fs := flag.NewFlagSet("sdbd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	level := fs.Int("level", 0, "GH statistics level (0 = paper default, level 7)")
+	cacheSize := fs.Int("cache", 256, "estimator cache capacity (entries)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
+	maxRows := fs.Int("max-rows", 10000, "max result rows per query response")
+	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
+	load := fs.String("load", "", "directory of .sds dataset files to preload as tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewJSONHandler(logw, nil))
+	cfg := server.Config{
+		Level:          *level,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *timeout,
+		MaxResultRows:  *maxRows,
+		Logger:         logger,
+	}
+	if *timeout == 0 {
+		cfg.RequestTimeout = -1 // Config: negative disables, zero means default
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *load != "" {
+		if err := preload(srv, *load); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Info("sdbd listening", "addr", *addr, "stats_level", srv.Store().Level())
+	err = srv.ListenAndServe(ctx, *addr, *grace)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// preload registers every .sds file under dir as a table named after the
+// file.
+func preload(srv *server.Server, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || len(e.Name()) < 5 || e.Name()[len(e.Name())-4:] != ".sds" {
+			continue
+		}
+		d, err := dataset.LoadFile(dir + "/" + e.Name())
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", e.Name(), err)
+		}
+		d.Name = e.Name()[:len(e.Name())-4]
+		if _, _, err := srv.Store().Register(d, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/server"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestPreload(t *testing.T) {
+	dir := t.TempDir()
+	if err := dataset.SaveFile(filepath.Join(dir, "roads.sds"), datagen.Uniform("x", 200, 0.01, 1)); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Level: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := preload(srv, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Store().Snapshot().Catalog.Table("roads"); err != nil {
+		t.Fatalf("preloaded table missing: %v", err)
+	}
+	if err := preload(srv, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

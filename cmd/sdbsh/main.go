@@ -28,36 +28,57 @@ import (
 )
 
 func main() {
-	fmt.Println("sdbsh — spatial mini-database shell (type `help`)")
+	// When stdin is a pipe or file (CI smoke tests, `sdbsh < script`), run
+	// strictly: the first malformed or failing command aborts the session
+	// with a non-zero exit instead of being silently skipped. Interactive
+	// use keeps the forgiving report-and-continue loop.
+	strict := false
+	if fi, err := os.Stdin.Stat(); err == nil && fi.Mode()&os.ModeCharDevice == 0 {
+		strict = true
+	}
+	if !strict {
+		fmt.Println("sdbsh — spatial mini-database shell (type `help`)")
+	}
 	sh := newShell(sdb.NewCatalog())
-	sh.repl(os.Stdin, os.Stdout)
+	sh.strict = strict
+	if err := sh.repl(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sdbsh: aborting on error:", err)
+		os.Exit(1)
+	}
 }
 
 // shell holds the session state.
 type shell struct {
 	catalog *sdb.Catalog
+	// strict aborts the REPL on the first command error (script mode)
+	// instead of reporting and continuing (interactive mode).
+	strict bool
 }
 
 func newShell(c *sdb.Catalog) *shell { return &shell{catalog: c} }
 
-// repl reads commands until EOF or `quit`.
-func (s *shell) repl(in io.Reader, out io.Writer) {
+// repl reads commands until EOF or `quit`. In strict mode it returns the
+// first command error; otherwise it always returns nil.
+func (s *shell) repl(in io.Reader, out io.Writer) error {
 	scanner := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "sdb> ")
 		if !scanner.Scan() {
 			fmt.Fprintln(out)
-			return
+			return nil
 		}
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" {
 			continue
 		}
 		if line == "quit" || line == "exit" {
-			return
+			return nil
 		}
 		if err := s.exec(line, out); err != nil {
 			fmt.Fprintln(out, "error:", err)
+			if s.strict {
+				return err
+			}
 		}
 	}
 }

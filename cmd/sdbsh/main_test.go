@@ -172,6 +172,38 @@ func TestNearestCommand(t *testing.T) {
 	}
 }
 
+func TestStrictModeAbortsOnFirstError(t *testing.T) {
+	sh := newShell(sdb.NewCatalog())
+	sh.strict = true
+	var out bytes.Buffer
+	err := sh.repl(strings.NewReader("create a uniform 200 1\nfrobnicate\ncreate b uniform 200 2\n"), &out)
+	if err == nil {
+		t.Fatal("strict repl returned nil on malformed command")
+	}
+	if !strings.Contains(err.Error(), "unknown command") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if strings.Contains(out.String(), "created b") {
+		t.Errorf("strict repl kept executing after the error:\n%s", out.String())
+	}
+	if got := strings.Count(out.String(), "error:"); got != 1 {
+		t.Errorf("expected exactly 1 reported error, saw %d:\n%s", got, out.String())
+	}
+}
+
+func TestStrictModeCleanScriptSucceeds(t *testing.T) {
+	sh := newShell(sdb.NewCatalog())
+	sh.strict = true
+	var out bytes.Buffer
+	err := sh.repl(strings.NewReader("create a uniform 200 1\ntables\nquit\n"), &out)
+	if err != nil {
+		t.Fatalf("clean script errored: %v", err)
+	}
+	if !strings.Contains(out.String(), "created a") {
+		t.Errorf("script output:\n%s", out.String())
+	}
+}
+
 func TestEmptyLinesAndEOF(t *testing.T) {
 	// Blank lines are skipped; EOF ends the loop without `quit`.
 	sh := newShell(sdb.NewCatalog())

@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"context"
 	"sort"
 
 	"spatialsel/internal/geom"
@@ -36,46 +37,95 @@ func JoinCount(a, b *Tree) int {
 // JoinFunc streams each intersecting (aID, bID) pair to emit. Pair order is
 // deterministic for identical trees but otherwise unspecified.
 func JoinFunc(a, b *Tree, emit func(aID, bID int)) {
+	_ = JoinFuncContext(context.Background(), a, b, emit)
+}
+
+// cancelCheckInterval is how many node visits pass between context polls
+// during a join — one "batch" of traversal work. Small enough that a
+// cancelled join stops within microseconds, large enough that ctx.Err()
+// stays off the hot path.
+const cancelCheckInterval = 32
+
+// JoinFuncContext is JoinFunc with cancellation: the context is polled once
+// per batch of node visits and, when it is done, the traversal stops and the
+// context's error is returned. A nil error means the join ran to completion.
+func JoinFuncContext(ctx context.Context, a, b *Tree, emit func(aID, bID int)) error {
 	if a.root == nil || b.root == nil {
-		return
+		return nil
 	}
 	ra, rb := a.root.mbr(), b.root.mbr()
 	clip, ok := ra.Intersection(rb)
 	if !ok {
-		return
+		return nil
 	}
-	joinNodes(a, b, a.root, b.root, clip, emit)
+	j := &joinRun{ta: a, tb: b, emit: emit, ctx: ctx}
+	j.joinNodes(a.root, b.root, clip)
+	return j.err
+}
+
+// joinRun carries one synchronized traversal's state: the trees (for access
+// accounting), the emit callback, and the cancellation context with its
+// visit counter.
+type joinRun struct {
+	ta, tb *Tree
+	emit   func(int, int)
+	ctx    context.Context
+	visits int
+	err    error
+}
+
+// cancelled polls the run's context every cancelCheckInterval node visits;
+// once the context is done the run's error latches and every subsequent
+// call short-circuits true.
+func (j *joinRun) cancelled() bool {
+	if j.err != nil {
+		return true
+	}
+	if j.ctx == nil {
+		return false
+	}
+	j.visits++
+	if j.visits%cancelCheckInterval == 0 {
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+			return true
+		}
+	}
+	return false
 }
 
 // joinNodes joins two nodes known to have intersecting MBRs; clip is the
 // intersection of their MBRs — entries outside it cannot contribute.
-func joinNodes(ta, tb *Tree, na, nb *node, clip geom.Rect, emit func(int, int)) {
-	ta.touch(na)
-	tb.touch(nb)
+func (j *joinRun) joinNodes(na, nb *node, clip geom.Rect) {
+	if j.cancelled() {
+		return
+	}
+	j.ta.touch(na)
+	j.tb.touch(nb)
 	switch {
 	case na.leaf && nb.leaf:
 		sweepEntries(na.entries, nb.entries, clip, func(ea, eb *entry) {
-			emit(ea.id, eb.id)
+			j.emit(ea.id, eb.id)
 		})
 	case na.leaf:
 		// Descend only b.
 		for i := range nb.entries {
 			e := &nb.entries[i]
 			if sub, ok := e.rect.Intersection(clip); ok {
-				joinLeafNode(ta, tb, na, e.child, sub, false, emit)
+				j.joinLeafNode(na, e.child, sub, false)
 			}
 		}
 	case nb.leaf:
 		for i := range na.entries {
 			e := &na.entries[i]
 			if sub, ok := e.rect.Intersection(clip); ok {
-				joinLeafNode(tb, ta, nb, e.child, sub, true, emit)
+				j.joinLeafNode(nb, e.child, sub, true)
 			}
 		}
 	default:
 		sweepEntries(na.entries, nb.entries, clip, func(ea, eb *entry) {
 			if sub, ok := ea.rect.Intersection(eb.rect); ok {
-				joinNodes(ta, tb, ea.child, eb.child, sub, emit)
+				j.joinNodes(ea.child, eb.child, sub)
 			}
 		})
 	}
@@ -84,14 +134,21 @@ func joinNodes(ta, tb *Tree, na, nb *node, clip geom.Rect, emit func(int, int)) 
 // joinLeafNode joins a leaf against a subtree of the other tree (handles
 // trees of different heights). If swapped, leaf entries come from tree b and
 // emit arguments are reversed.
-func joinLeafNode(tleaf, tsub *Tree, leaf, sub *node, clip geom.Rect, swapped bool, emit func(int, int)) {
-	tsub.touch(sub)
+func (j *joinRun) joinLeafNode(leaf, sub *node, clip geom.Rect, swapped bool) {
+	if j.cancelled() {
+		return
+	}
+	if swapped {
+		j.ta.touch(sub)
+	} else {
+		j.tb.touch(sub)
+	}
 	if sub.leaf {
 		sweepEntries(leaf.entries, sub.entries, clip, func(el, es *entry) {
 			if swapped {
-				emit(es.id, el.id)
+				j.emit(es.id, el.id)
 			} else {
-				emit(el.id, es.id)
+				j.emit(el.id, es.id)
 			}
 		})
 		return
@@ -99,7 +156,7 @@ func joinLeafNode(tleaf, tsub *Tree, leaf, sub *node, clip geom.Rect, swapped bo
 	for i := range sub.entries {
 		e := &sub.entries[i]
 		if c, ok := e.rect.Intersection(clip); ok {
-			joinLeafNode(tleaf, tsub, leaf, e.child, c, swapped, emit)
+			j.joinLeafNode(leaf, e.child, c, swapped)
 		}
 	}
 }

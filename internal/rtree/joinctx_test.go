@@ -1,0 +1,79 @@
+package rtree
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+func randomTree(t *testing.T, n int, seed int64) *Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = Item{Rect: geom.NewRect(x, y, x+0.01, y+0.01), ID: i}
+	}
+	tr, err := BulkLoadSTR(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestJoinFuncContextCompletes(t *testing.T) {
+	a := randomTree(t, 2000, 1)
+	b := randomTree(t, 2000, 2)
+	want := JoinCount(a, b)
+	got := 0
+	if err := JoinFuncContext(context.Background(), a, b, func(int, int) { got++ }); err != nil {
+		t.Fatalf("uncancelled join returned error: %v", err)
+	}
+	if got != want {
+		t.Fatalf("JoinFuncContext count = %d, JoinCount = %d", got, want)
+	}
+}
+
+func TestJoinFuncContextCancelledBeforeStart(t *testing.T) {
+	a := randomTree(t, 5000, 3)
+	b := randomTree(t, 5000, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	emitted := 0
+	err := JoinFuncContext(ctx, a, b, func(int, int) { emitted++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The traversal polls every cancelCheckInterval visits, so a handful of
+	// pairs may stream before the first poll; it must stop almost at once.
+	full := JoinCount(a, b)
+	if emitted >= full {
+		t.Fatalf("cancelled join emitted all %d pairs", emitted)
+	}
+}
+
+func TestJoinFuncContextCancelledMidJoin(t *testing.T) {
+	a := randomTree(t, 5000, 5)
+	b := randomTree(t, 5000, 6)
+	full := JoinCount(a, b)
+	if full == 0 {
+		t.Fatal("test needs a non-empty join")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	err := JoinFuncContext(ctx, a, b, func(int, int) {
+		emitted++
+		if emitted == full/10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if emitted >= full {
+		t.Fatalf("join ran to completion (%d pairs) despite mid-join cancel", emitted)
+	}
+}

@@ -84,7 +84,8 @@ func JoinCountParallel(a, b *Tree, workers int) int {
 						local++
 					})
 				default:
-					joinNodes(sa, sb, tk.na, tk.nb, tk.clip, func(_, _ int) { local++ })
+					j := &joinRun{ta: sa, tb: sb, emit: func(_, _ int) { local++ }}
+					j.joinNodes(tk.na, tk.nb, tk.clip)
 				}
 			}
 			atomic.AddInt64(&total, int64(local))

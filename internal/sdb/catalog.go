@@ -63,10 +63,11 @@ func NewCatalogAtLevel(level int) (*Catalog, error) {
 	return &Catalog{tables: make(map[string]*Table), level: level}, nil
 }
 
-// Create registers a dataset as a table, building its index and statistics.
-// The dataset is normalized to the unit square first, so all tables share a
-// coordinate space. The table name comes from the dataset.
-func (c *Catalog) Create(d *dataset.Dataset) (*Table, error) {
+// BuildTable constructs a table — normalized data, R-tree index, GH
+// statistics — without registering it in the catalog. The heavy work runs
+// without any catalog lock, so callers can build concurrently and Attach the
+// result; this is what copy-on-write stores layered above the catalog use.
+func (c *Catalog) BuildTable(d *dataset.Dataset) (*Table, error) {
 	if d.Name == "" {
 		return nil, fmt.Errorf("sdb: dataset has no name")
 	}
@@ -86,14 +87,40 @@ func (c *Catalog) Create(d *dataset.Dataset) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sdb: statistics %s: %w", d.Name, err)
 	}
-	t := &Table{Name: d.Name, Data: nd, Index: index, Stats: statsRaw.(*histogram.GHSummary)}
+	return &Table{Name: d.Name, Data: nd, Index: index, Stats: statsRaw.(*histogram.GHSummary)}, nil
+}
 
+// Attach registers a pre-built table (from BuildTable, or carried over from
+// another catalog snapshot). The table's statistics must match the catalog's
+// level.
+func (c *Catalog) Attach(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("sdb: table has no name")
+	}
+	if t.Stats.Level() != c.level {
+		return fmt.Errorf("sdb: table %q statistics at level %d, catalog at level %d",
+			t.Name, t.Stats.Level(), c.level)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, dup := c.tables[d.Name]; dup {
-		return nil, fmt.Errorf("sdb: table %q already exists", d.Name)
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("sdb: table %q already exists", t.Name)
 	}
-	c.tables[d.Name] = t
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Create registers a dataset as a table, building its index and statistics.
+// The dataset is normalized to the unit square first, so all tables share a
+// coordinate space. The table name comes from the dataset.
+func (c *Catalog) Create(d *dataset.Dataset) (*Table, error) {
+	t, err := c.BuildTable(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Attach(t); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 

@@ -1,0 +1,74 @@
+package sdb
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"spatialsel/internal/datagen"
+)
+
+// planFixture builds a catalog with three joined tables and returns a
+// three-way plan, large enough that execution takes measurable time.
+func planFixture(t *testing.T, n int) *Plan {
+	t.Helper()
+	c, err := NewCatalogAtLevel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if _, err := c.Create(datagen.Uniform(name, n, 0.01, int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := c.Plan(Query{
+		Tables:     []string{"a", "b", "c"},
+		Predicates: []Predicate{{Left: "a", Right: "b"}, {Left: "b", Right: "c"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestExecuteContextBackground(t *testing.T) {
+	plan := planFixture(t, 2000)
+	want, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := plan.ExecuteContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("ExecuteContext rows = %d, Execute rows = %d", got.Len(), want.Len())
+	}
+}
+
+func TestExecuteContextCancelled(t *testing.T) {
+	plan := planFixture(t, 4000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := plan.ExecuteContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestExecuteContextDeadlineAbortsPromptly(t *testing.T) {
+	plan := planFixture(t, 8000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := plan.ExecuteContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	// The join polls per node-visit batch; abort must be far quicker than a
+	// full three-way join over 8000-item tables.
+	if elapsed > time.Second {
+		t.Fatalf("cancelled execution took %v, expected prompt abort", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package sdb
 
 import (
+	"context"
 	"fmt"
 
 	"spatialsel/internal/geom"
@@ -23,6 +24,18 @@ func (r *Result) Len() int { return len(r.Rows) }
 // its R-tree with the rectangle of each row's connecting item, verifying any
 // additional predicates directly.
 func (p *Plan) Execute() (*Result, error) {
+	return p.ExecuteContext(context.Background())
+}
+
+// cancelRowBatch is how many probe rows the executor processes between
+// context polls in the extension steps.
+const cancelRowBatch = 256
+
+// ExecuteContext is Execute with cancellation: the context is threaded into
+// the R-tree join (polled per node-visit batch) and polled per row batch
+// during the index-probe steps, so a cancelled or timed-out context aborts a
+// large join promptly with the context's error.
+func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 	c := p.catalog
 	q := p.query
 
@@ -59,7 +72,7 @@ func (p *Plan) Execute() (*Result, error) {
 	}
 	var rows [][]int
 	var ferr error
-	rtree.JoinFunc(baseTab.Index, stepTab.Index, func(a, b int) {
+	jerr := rtree.JoinFuncContext(ctx, baseTab.Index, stepTab.Index, func(a, b int) {
 		if ferr != nil {
 			return
 		}
@@ -82,6 +95,9 @@ func (p *Plan) Execute() (*Result, error) {
 			rows = append(rows, row)
 		}
 	})
+	if jerr != nil {
+		return nil, jerr
+	}
 	if ferr != nil {
 		return nil, ferr
 	}
@@ -95,7 +111,12 @@ func (p *Plan) Execute() (*Result, error) {
 		}
 		col := colOf[s.Table]
 		var next [][]int
-		for _, row := range rows {
+		for ri, row := range rows {
+			if ri%cancelRowBatch == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			// Probe with the first predicate's connecting item; verify the
 			// rest per candidate.
 			drive, rest, err := splitPredicates(s, colOf, row, c, q)

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"spatialsel/internal/core"
+)
+
+// CacheKey identifies one cached estimate. Table generations are part of the
+// key, so replacing a table silently invalidates every cached estimate that
+// involved it: the new generation makes a fresh key and the stale entries
+// age out through LRU eviction. Left/Right are stored in canonical (sorted)
+// order by the cache's callers, since every estimator here is symmetric.
+type CacheKey struct {
+	Left, Right string
+	GenL, GenR  uint64
+	Method      string
+	Level       int
+}
+
+// EstimateCache is a fixed-capacity LRU cache of selectivity estimates.
+// Repeated estimates for an unchanged table pair are O(1) map hits instead
+// of histogram scans or sample joins. Safe for concurrent use.
+type EstimateCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[CacheKey]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key CacheKey
+	val core.Estimate
+}
+
+// NewEstimateCache returns a cache holding at most capacity entries
+// (minimum 1).
+func NewEstimateCache(capacity int) *EstimateCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EstimateCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[CacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached estimate for k, recording a hit or miss.
+func (c *EstimateCache) Get(k CacheKey) (core.Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return core.Estimate{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes an estimate, evicting the least recently used
+// entry when over capacity.
+func (c *EstimateCache) Put(k CacheKey, v core.Estimate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, val: v})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *EstimateCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the lifetime hit and miss counts.
+func (c *EstimateCache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"spatialsel/internal/core"
+)
+
+func TestEstimateCacheLRU(t *testing.T) {
+	c := NewEstimateCache(2)
+	k := func(name string) CacheKey { return CacheKey{Left: name, Right: "x", Method: "gh", Level: 7} }
+
+	if _, ok := c.Get(k("a")); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(k("a"), core.Estimate{PairCount: 1})
+	c.Put(k("b"), core.Estimate{PairCount: 2})
+	if v, ok := c.Get(k("a")); !ok || v.PairCount != 1 {
+		t.Fatalf("a lookup: %+v %v", v, ok)
+	}
+	// a is now most recent; inserting c evicts b.
+	c.Put(k("c"), core.Estimate{PairCount: 3})
+	if _, ok := c.Get(k("b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get(k("a")); !ok {
+		t.Fatal("a should have survived")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	hits, misses := c.Counters()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/2", hits, misses)
+	}
+
+	// Refreshing an existing key must not grow the cache.
+	c.Put(k("a"), core.Estimate{PairCount: 10})
+	if c.Len() != 2 {
+		t.Fatalf("len after refresh = %d", c.Len())
+	}
+	if v, _ := c.Get(k("a")); v.PairCount != 10 {
+		t.Fatalf("refresh did not take: %+v", v)
+	}
+}
+
+func TestEstimateCacheGenerationsDiffer(t *testing.T) {
+	c := NewEstimateCache(8)
+	k1 := CacheKey{Left: "a", Right: "b", GenL: 1, GenR: 2, Method: "gh", Level: 7}
+	k2 := k1
+	k2.GenL = 3 // table a replaced
+	c.Put(k1, core.Estimate{PairCount: 5})
+	if _, ok := c.Get(k2); ok {
+		t.Fatal("replaced-table key must miss")
+	}
+}
+
+// TestCacheInvalidationOverHTTP is the satellite scenario: register,
+// estimate (miss), estimate (hit), replace the table, estimate (miss again)
+// — asserted through the /metrics hit/miss counters.
+func TestCacheInvalidationOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Level: 5})
+	createTable(t, ts.URL, "a", "uniform", 800, 1, false)
+	createTable(t, ts.URL, "b", "uniform", 800, 2, false)
+
+	estimate := func() EstimateResponse {
+		t.Helper()
+		var est EstimateResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/v1/estimate",
+			EstimateRequest{Left: "a", Right: "b"}, &est); code != 200 {
+			t.Fatalf("estimate: status %d", code)
+		}
+		return est
+	}
+	counters := func() (hits, misses float64) {
+		t.Helper()
+		m := fetchMetrics(t, ts.URL)
+		return metricValue(t, m, "sdbd_estimate_cache_hits_total"),
+			metricValue(t, m, "sdbd_estimate_cache_misses_total")
+	}
+
+	first := estimate()
+	if first.Cached {
+		t.Fatal("first estimate should miss")
+	}
+	if hits, misses := counters(); hits != 0 || misses != 1 {
+		t.Fatalf("after first estimate: hits=%v misses=%v", hits, misses)
+	}
+
+	second := estimate()
+	if !second.Cached || second.PairCount != first.PairCount {
+		t.Fatalf("second estimate should hit with identical value: %+v", second)
+	}
+	if hits, misses := counters(); hits != 1 || misses != 1 {
+		t.Fatalf("after second estimate: hits=%v misses=%v", hits, misses)
+	}
+
+	// Replace table a with different data: the generation changes, so the
+	// old cache entry can no longer be addressed.
+	createTable(t, ts.URL, "a", "uniform", 800, 99, true)
+
+	third := estimate()
+	if third.Cached {
+		t.Fatal("estimate after replace must miss")
+	}
+	if hits, misses := counters(); hits != 1 || misses != 2 {
+		t.Fatalf("after replace: hits=%v misses=%v", hits, misses)
+	}
+	if third.PairCount == first.PairCount {
+		t.Log("note: replaced table produced identical estimate (possible but unlikely)")
+	}
+}

@@ -1,0 +1,595 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"spatialsel/internal/core"
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/histogram"
+	"spatialsel/internal/iomodel"
+	"spatialsel/internal/sample"
+	"spatialsel/internal/sdb"
+)
+
+// ---- JSON plumbing ----------------------------------------------------
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON reads a request body into v, rejecting unknown fields so typos
+// in client payloads fail loudly instead of being ignored.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// statusForError maps engine errors onto HTTP codes: cancellation and
+// deadline become 503/504, everything else is the caller's fault.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ---- tables -----------------------------------------------------------
+
+// GeneratorSpec names one of the synthetic dataset generators (the same
+// kinds the sdbsh shell offers).
+type GeneratorSpec struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+}
+
+// CreateTableRequest registers a table from exactly one source: a generator
+// spec, a server-side dataset file, or inline rectangles.
+type CreateTableRequest struct {
+	Name      string         `json:"name"`
+	Replace   bool           `json:"replace,omitempty"`
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+	File      string         `json:"file,omitempty"`
+	Items     [][4]float64   `json:"items,omitempty"`
+}
+
+// TableInfo is the public summary of a registered table.
+type TableInfo struct {
+	Name       string  `json:"name"`
+	Items      int     `json:"items"`
+	Generation uint64  `json:"generation"`
+	TreeHeight int     `json:"tree_height"`
+	StatsLevel int     `json:"stats_level"`
+	StatsBytes int64   `json:"stats_bytes"`
+	Coverage   float64 `json:"coverage"`
+	AvgWidth   float64 `json:"avg_width"`
+	AvgHeight  float64 `json:"avg_height"`
+}
+
+func (s *Server) tableInfo(snap *Snapshot, t *sdb.Table) TableInfo {
+	ds := t.Data.ComputeStats()
+	return TableInfo{
+		Name:       t.Name,
+		Items:      t.Len(),
+		Generation: snap.Generation(t.Name),
+		TreeHeight: t.Index.Height(),
+		StatsLevel: t.Stats.Level(),
+		StatsBytes: t.Stats.SizeBytes(),
+		Coverage:   ds.Coverage,
+		AvgWidth:   ds.AvgWidth,
+		AvgHeight:  ds.AvgHeight,
+	}
+}
+
+// buildDataset materializes the request's dataset source.
+func buildDataset(req *CreateTableRequest) (*dataset.Dataset, error) {
+	sources := 0
+	for _, set := range []bool{req.Generator != nil, req.File != "", len(req.Items) > 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of generator, file, items must be given")
+	}
+	switch {
+	case req.Generator != nil:
+		return generate(req.Name, req.Generator)
+	case req.File != "":
+		d, err := dataset.LoadFile(req.File)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = req.Name
+		return d, nil
+	default:
+		items := make([]geom.Rect, len(req.Items))
+		extent := geom.NewRect(req.Items[0][0], req.Items[0][1], req.Items[0][2], req.Items[0][3])
+		for i, r := range req.Items {
+			items[i] = geom.NewRect(r[0], r[1], r[2], r[3])
+			extent = extent.Union(items[i])
+		}
+		return dataset.New(req.Name, extent, items), nil
+	}
+}
+
+func generate(name string, g *GeneratorSpec) (*dataset.Dataset, error) {
+	if g.N <= 0 {
+		return nil, fmt.Errorf("generator n must be positive, got %d", g.N)
+	}
+	switch g.Kind {
+	case "uniform":
+		return datagen.Uniform(name, g.N, 0.005, g.Seed), nil
+	case "cluster":
+		return datagen.Cluster(name, g.N, 0.4, 0.6, 0.1, 0.005, g.Seed), nil
+	case "multicluster":
+		return datagen.MultiCluster(name, g.N, 5, 0.05, 0.005, g.Seed), nil
+	case "diagonal":
+		return datagen.Diagonal(name, g.N, 0.05, 0.005, g.Seed), nil
+	case "polyline":
+		return datagen.PolylineTrace(name, g.N, 50, 0.004, g.Seed), nil
+	case "tiling":
+		return datagen.PolygonTiling(name, g.N, g.Seed), nil
+	case "points":
+		return datagen.Points(name, g.N, 20, 0.04, g.Seed), nil
+	case "polygons":
+		return datagen.HeavyTailedPolygons(name, g.N, 20, 0.05, 0.002, 1.4, g.Seed), nil
+	}
+	return nil, fmt.Errorf("unknown generator kind %q", g.Kind)
+}
+
+func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	var req CreateTableRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "table name is required")
+		return
+	}
+	d, err := buildDataset(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	t, _, err := s.store.Register(d, req.Replace)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.tableInfo(s.store.Snapshot(), t))
+}
+
+func (s *Server) handleListTables(w http.ResponseWriter, _ *http.Request) {
+	snap := s.store.Snapshot()
+	names := snap.Catalog.Names()
+	infos := make([]TableInfo, 0, len(names))
+	for _, n := range names {
+		t, err := snap.Catalog.Table(n)
+		if err != nil {
+			continue // table dropped between Names and Table on another snapshot — impossible here, defensive
+		}
+		infos = append(infos, s.tableInfo(snap, t))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tables": infos})
+}
+
+func (s *Server) handleGetTable(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	t, err := snap.Catalog.Table(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tableInfo(snap, t))
+}
+
+func (s *Server) handleDropTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ok, err := s.store.Drop(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown table %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+// ---- query parsing shared by estimate/explain/query -------------------
+
+// QuerySpec is the wire form of a multi-way join query.
+type QuerySpec struct {
+	Tables     []string                `json:"tables"`
+	Predicates [][2]string             `json:"predicates"`
+	Windows    map[string][4]float64   `json:"windows,omitempty"`
+}
+
+func (qs *QuerySpec) toQuery() sdb.Query {
+	q := sdb.Query{Tables: qs.Tables}
+	for _, p := range qs.Predicates {
+		q.Predicates = append(q.Predicates, sdb.Predicate{Left: p[0], Right: p[1]})
+	}
+	if len(qs.Windows) > 0 {
+		q.Windows = make(map[string]geom.Rect, len(qs.Windows))
+		for t, w := range qs.Windows {
+			q.Windows[t] = geom.NewRect(w[0], w[1], w[2], w[3])
+		}
+	}
+	return q
+}
+
+// ---- estimate ---------------------------------------------------------
+
+// EstimateRequest asks for a join-selectivity estimate: either pairwise
+// (left/right + method) or multi-way (a QuerySpec, estimated through the
+// planner's GH statistics).
+type EstimateRequest struct {
+	Left     string  `json:"left,omitempty"`
+	Right    string  `json:"right,omitempty"`
+	Method   string  `json:"method,omitempty"`   // gh (default), basicgh, ph, rs, rswr, ss
+	Fraction float64 `json:"fraction,omitempty"` // sampling fraction, default 0.1
+
+	Tables     []string              `json:"tables,omitempty"`
+	Predicates [][2]string           `json:"predicates,omitempty"`
+	Windows    map[string][4]float64 `json:"windows,omitempty"`
+}
+
+// EstimateResponse carries the estimate plus provenance (method, cache).
+type EstimateResponse struct {
+	Kind          string  `json:"kind"` // "pairwise" or "multiway"
+	Method        string  `json:"method"`
+	PairCount     float64 `json:"pair_count"`
+	Selectivity   float64 `json:"selectivity"`
+	Cached        bool    `json:"cached"`
+	EstCost       float64 `json:"est_cost,omitempty"` // multiway: Σ intermediate rows
+	ElapsedMicros int64   `json:"elapsed_micros"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	snap := s.store.Snapshot()
+
+	if len(req.Tables) > 0 {
+		qs := QuerySpec{Tables: req.Tables, Predicates: req.Predicates, Windows: req.Windows}
+		plan, err := snap.Catalog.Plan(qs.toQuery())
+		if err != nil {
+			writeError(w, statusForError(err), "%v", err)
+			return
+		}
+		final := plan.Steps[len(plan.Steps)-1].EstRows
+		card := 1.0
+		for _, name := range req.Tables {
+			t, err := snap.Catalog.Table(name)
+			if err != nil {
+				writeError(w, http.StatusNotFound, "%v", err)
+				return
+			}
+			card *= float64(t.Len())
+		}
+		resp := EstimateResponse{
+			Kind:          "multiway",
+			Method:        "gh-plan",
+			PairCount:     final,
+			EstCost:       plan.EstCost,
+			ElapsedMicros: time.Since(start).Microseconds(),
+		}
+		if card > 0 {
+			resp.Selectivity = final / card
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	if req.Left == "" || req.Right == "" {
+		writeError(w, http.StatusBadRequest, "either left+right or tables+predicates must be given")
+		return
+	}
+	method := req.Method
+	if method == "" {
+		method = "gh"
+	}
+	est, cached, err := s.estimatePair(r.Context(), snap, req.Left, req.Right, method, req.Fraction)
+	if err != nil {
+		writeError(w, statusForError(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Kind:          "pairwise",
+		Method:        method,
+		PairCount:     est.PairCount,
+		Selectivity:   est.Selectivity,
+		Cached:        cached,
+		ElapsedMicros: time.Since(start).Microseconds(),
+	})
+}
+
+// estimatePair computes (or recalls) a pairwise selectivity estimate. The
+// cache key canonicalizes the table order — every supported estimator is
+// symmetric — and embeds the tables' generations, so a replaced table can
+// never serve a stale estimate.
+func (s *Server) estimatePair(ctx context.Context, snap *Snapshot, left, right, method string, fraction float64) (core.Estimate, bool, error) {
+	ta, err := snap.Catalog.Table(left)
+	if err != nil {
+		return core.Estimate{}, false, err
+	}
+	tb, err := snap.Catalog.Table(right)
+	if err != nil {
+		return core.Estimate{}, false, err
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 0.1
+	}
+	methodKey := method
+	if method == "rs" || method == "rswr" || method == "ss" {
+		methodKey = fmt.Sprintf("%s:%g", method, fraction)
+	}
+	a, b := ta, tb
+	if strings.Compare(a.Name, b.Name) > 0 {
+		a, b = b, a
+	}
+	key := CacheKey{
+		Left: a.Name, Right: b.Name,
+		GenL: snap.Generation(a.Name), GenR: snap.Generation(b.Name),
+		Method: methodKey, Level: s.store.Level(),
+	}
+	if est, ok := s.cache.Get(key); ok {
+		return est, true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Estimate{}, false, err
+	}
+	est, err := computeEstimate(a, b, method, fraction, s.store.Level())
+	if err != nil {
+		return core.Estimate{}, false, err
+	}
+	s.cache.Put(key, est)
+	return est, false, nil
+}
+
+func computeEstimate(a, b *sdb.Table, method string, fraction float64, level int) (core.Estimate, error) {
+	switch method {
+	case "gh":
+		gh, err := histogram.NewGH(level)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		return gh.Estimate(a.Stats, b.Stats)
+	case "basicgh":
+		t, err := histogram.NewBasicGH(level)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		return buildAndEstimate(t, a, b)
+	case "ph":
+		t, err := histogram.NewPH(level)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		return buildAndEstimate(t, a, b)
+	case "rs", "rswr", "ss":
+		m := map[string]sample.Method{"rs": sample.RS, "rswr": sample.RSWR, "ss": sample.SS}[method]
+		// Fixed seed keeps sampling estimates deterministic and therefore
+		// cacheable: the same request always sees the same answer.
+		t, err := sample.New(m, fraction, sample.WithSeed(1))
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		return buildAndEstimate(t, a, b)
+	}
+	return core.Estimate{}, fmt.Errorf("unknown estimation method %q (want gh, basicgh, ph, rs, rswr, ss)", method)
+}
+
+func buildAndEstimate(t core.Technique, a, b *sdb.Table) (core.Estimate, error) {
+	sa, err := t.Build(a.Data)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	sb, err := t.Build(b.Data)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return t.Estimate(sa, sb)
+}
+
+// ---- explain ----------------------------------------------------------
+
+// ExplainStep is one planner step in the response.
+type ExplainStep struct {
+	Table   string  `json:"table"`
+	EstRows float64 `json:"est_rows"`
+}
+
+// ExplainResponse is the planner's output plus the analytic I/O model's
+// prediction for the plan's R-tree join, so clients see estimated result
+// size and modeled physical cost side by side.
+type ExplainResponse struct {
+	Plan          string        `json:"plan"`
+	Base          string        `json:"base"`
+	Steps         []ExplainStep `json:"steps"`
+	EstCost       float64       `json:"est_cost"`
+	EstRows       float64       `json:"est_rows"`
+	ModeledJoinIO float64       `json:"modeled_join_io"` // predicted node accesses, first join
+	ElapsedMicros int64         `json:"elapsed_micros"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var qs QuerySpec
+	if err := decodeJSON(r, &qs); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	snap := s.store.Snapshot()
+	plan, err := snap.Catalog.Plan(qs.toQuery())
+	if err != nil {
+		writeError(w, statusForError(err), "%v", err)
+		return
+	}
+	resp := ExplainResponse{
+		Plan:    plan.Explain(),
+		Base:    plan.Base,
+		EstCost: plan.EstCost,
+		EstRows: plan.Steps[len(plan.Steps)-1].EstRows,
+	}
+	for _, st := range plan.Steps {
+		resp.Steps = append(resp.Steps, ExplainStep{Table: st.Table, EstRows: st.EstRows})
+	}
+	base, err1 := snap.Catalog.Table(plan.Base)
+	first, err2 := snap.Catalog.Table(plan.Steps[0].Table)
+	if err1 == nil && err2 == nil {
+		resp.ModeledJoinIO = iomodel.JoinAccesses(base.Index.LevelStats(), first.Index.LevelStats())
+	}
+	resp.ElapsedMicros = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- query ------------------------------------------------------------
+
+// QueryRequest executes a join query with pagination over the materialized
+// result.
+type QueryRequest struct {
+	Tables     []string              `json:"tables"`
+	Predicates [][2]string           `json:"predicates"`
+	Windows    map[string][4]float64 `json:"windows,omitempty"`
+	Limit      int                   `json:"limit,omitempty"`
+	Offset     int                   `json:"offset,omitempty"`
+}
+
+// QueryResponse returns a page of result rows (item indices per column) plus
+// the totals the page was cut from.
+type QueryResponse struct {
+	Columns       []string `json:"columns"`
+	Rows          [][]int  `json:"rows"`
+	TotalRows     int      `json:"total_rows"`
+	Offset        int      `json:"offset"`
+	Truncated     bool     `json:"truncated"`
+	EstRows       float64  `json:"est_rows"`
+	ElapsedMicros int64    `json:"elapsed_micros"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	start := time.Now()
+	snap := s.store.Snapshot()
+	qs := QuerySpec{Tables: req.Tables, Predicates: req.Predicates, Windows: req.Windows}
+	q := qs.toQuery()
+	plan, err := snap.Catalog.Plan(q)
+	if err != nil {
+		writeError(w, statusForError(err), "%v", err)
+		return
+	}
+	res, err := plan.ExecuteContext(r.Context())
+	if err != nil {
+		writeError(w, statusForError(err), "%v", err)
+		return
+	}
+
+	// Close the estimation loop: a pairwise query that could have been (or
+	// was) estimated feeds the live estimate-vs-actual error metric. Windowed
+	// queries are skipped — the GH estimate predicts the unfiltered join.
+	if len(q.Tables) == 2 && len(q.Predicates) == 1 && len(q.Windows) == 0 {
+		if est, _, eerr := s.estimatePair(r.Context(), snap, q.Tables[0], q.Tables[1], "gh", 0); eerr == nil {
+			actual := float64(res.Len())
+			if actual > 0 {
+				relErr := est.PairCount - actual
+				if relErr < 0 {
+					relErr = -relErr
+				}
+				s.metrics.RecordEstimateError(relErr / actual)
+			}
+		}
+	}
+
+	total := res.Len()
+	offset := req.Offset
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	limit := req.Limit
+	if limit <= 0 || limit > s.maxResultRows {
+		limit = s.maxResultRows
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Columns:       res.Columns,
+		Rows:          res.Rows[offset:end],
+		TotalRows:     total,
+		Offset:        offset,
+		Truncated:     end < total,
+		EstRows:       plan.Steps[len(plan.Steps)-1].EstRows,
+		ElapsedMicros: time.Since(start).Microseconds(),
+	})
+}
+
+// ---- health + metrics -------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.store.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"tables":         len(snap.Catalog.Names()),
+		"stats_level":    s.store.Level(),
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(s.metrics.Render(s.cache, s.store)))
+}
+
+// sortedRoutes is used by tests and the daemon's startup log.
+func (s *Server) sortedRoutes() []string {
+	out := append([]string(nil), s.routes...)
+	sort.Strings(out)
+	return out
+}

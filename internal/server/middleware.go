@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the status code a handler writes so the logging
+// and metrics middleware can report it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the server's full middleware stack:
+// panic recovery, per-request timeout (threaded to handlers as context
+// cancellation), metrics, and structured request logging. route is the
+// stable label used for metrics and logs (e.g. "POST /v1/estimate") so that
+// path parameters do not explode the label space.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.metrics.IncInflight()
+		defer s.metrics.DecInflight()
+
+		ctx := r.Context()
+		if s.requestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+			defer cancel()
+		}
+		r = r.WithContext(ctx)
+
+		defer func() {
+			if p := recover(); p != nil {
+				s.logger.Error("panic serving request",
+					"route", route, "panic", p, "stack", string(debug.Stack()))
+				// Best effort: the handler may have written already.
+				writeError(rec, http.StatusInternalServerError, "internal error")
+			}
+			elapsed := time.Since(start)
+			s.metrics.RecordRequest(route, rec.status, elapsed)
+			s.logger.Info("request",
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"duration_ms", float64(elapsed.Microseconds())/1000,
+				"remote", r.RemoteAddr,
+			)
+		}()
+		h(rec, r)
+	}
+}
+
+// discardLogger returns a logger that drops everything, for tests and for
+// callers that pass no logger.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

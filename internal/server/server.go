@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"spatialsel/internal/sdb"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from New.
+type Config struct {
+	// Level is the GH statistics level for every table (default
+	// sdb.StatisticsLevel, the paper's recommended level 7).
+	Level int
+	// CacheSize bounds the estimator LRU cache (default 256 entries).
+	CacheSize int
+	// RequestTimeout cancels a request's context after this long; the
+	// cancellation propagates into the join executor. 0 keeps the package
+	// default of 30s; negative disables the timeout.
+	RequestTimeout time.Duration
+	// MaxResultRows caps how many rows one query response may carry
+	// (default 10000); clients page through larger results with offset.
+	MaxResultRows int
+	// Logger receives structured request logs (default: discard).
+	Logger *slog.Logger
+}
+
+// Server is the HTTP estimation/join service. Create with New, mount with
+// Handler.
+type Server struct {
+	store          *Store
+	cache          *EstimateCache
+	metrics        *Metrics
+	logger         *slog.Logger
+	requestTimeout time.Duration
+	maxResultRows  int
+	mux            *http.ServeMux
+	routes         []string
+	started        time.Time
+}
+
+// New builds a Server with an empty catalog.
+func New(cfg Config) (*Server, error) {
+	if cfg.Level == 0 {
+		cfg.Level = sdb.StatisticsLevel
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	} else if cfg.RequestTimeout < 0 {
+		cfg.RequestTimeout = 0
+	}
+	if cfg.MaxResultRows <= 0 {
+		cfg.MaxResultRows = 10000
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	store, err := NewStore(cfg.Level)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		store:          store,
+		cache:          NewEstimateCache(cfg.CacheSize),
+		metrics:        NewMetrics(),
+		logger:         cfg.Logger,
+		requestTimeout: cfg.RequestTimeout,
+		maxResultRows:  cfg.MaxResultRows,
+		mux:            http.NewServeMux(),
+		started:        time.Now(),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/tables", s.handleCreateTable)
+	s.route("GET /v1/tables", s.handleListTables)
+	s.route("GET /v1/tables/{name}", s.handleGetTable)
+	s.route("DELETE /v1/tables/{name}", s.handleDropTable)
+	s.route("POST /v1/estimate", s.handleEstimate)
+	s.route("POST /v1/explain", s.handleExplain)
+	s.route("POST /v1/query", s.handleQuery)
+	return s, nil
+}
+
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.routes = append(s.routes, pattern)
+	s.mux.HandleFunc(pattern, s.instrument(pattern, h))
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store exposes the table store (tests and the daemon preload tables
+// through it).
+func (s *Server) Store() *Store { return s.store }
+
+// ListenAndServe serves on addr until ctx is cancelled, then shuts down
+// gracefully, letting in-flight requests finish within grace.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logger.Info("shutting down", "grace", grace.String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"spatialsel/internal/datagen"
+)
+
+func TestStoreSnapshotIsolation(t *testing.T) {
+	s, err := NewStore(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Register(datagen.Uniform("a", 300, 0.01, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Snapshot()
+
+	// Register a second table: the old snapshot must not see it.
+	if _, _, err := s.Register(datagen.Uniform("b", 300, 0.01, 2), false); err != nil {
+		t.Fatal(err)
+	}
+	if names := before.Catalog.Names(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("old snapshot mutated: %v", names)
+	}
+	after := s.Snapshot()
+	if names := after.Catalog.Names(); len(names) != 2 {
+		t.Fatalf("new snapshot missing table: %v", names)
+	}
+
+	// Replace bumps the generation; the old snapshot keeps the old table.
+	genBefore := after.Generation("a")
+	oldTable, err := after.Catalog.Table("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, gen, err := s.Register(datagen.Uniform("a", 400, 0.01, 3), true); err != nil {
+		t.Fatal(err)
+	} else if gen <= genBefore {
+		t.Fatalf("generation did not advance: %d -> %d", genBefore, gen)
+	}
+	replaced := s.Snapshot()
+	newTable, err := replaced.Catalog.Table("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTable == oldTable || newTable.Len() != 400 {
+		t.Fatal("replace did not install the new table")
+	}
+	if stale, err := after.Catalog.Table("a"); err != nil || stale != oldTable {
+		t.Fatal("old snapshot lost its table")
+	}
+
+	// Duplicate without replace is rejected.
+	if _, _, err := s.Register(datagen.Uniform("a", 100, 0.01, 4), false); err == nil {
+		t.Fatal("duplicate register should fail")
+	}
+
+	// Drop.
+	if ok, err := s.Drop("b"); err != nil || !ok {
+		t.Fatalf("drop b: %v %v", ok, err)
+	}
+	if ok, _ := s.Drop("b"); ok {
+		t.Fatal("double drop reported success")
+	}
+	if names := s.Snapshot().Catalog.Names(); len(names) != 1 {
+		t.Fatalf("after drop: %v", names)
+	}
+}
+
+func TestStoreConcurrentRegisterAndRead(t *testing.T) {
+	s, err := NewStore(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Register(datagen.Uniform("base", 500, 0.01, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				_, _, err := s.Register(datagen.Uniform("base", 500, 0.01, int64(i)), true)
+				if err != nil {
+					t.Error(err)
+				}
+				return
+			}
+			for j := 0; j < 20; j++ {
+				snap := s.Snapshot()
+				tab, err := snap.Catalog.Table("base")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if tab.Len() == 0 || tab.Index.Height() < 1 {
+					t.Error("snapshot handed out a broken table")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
