@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race race-all vet cover bench experiments examples clean
+.PHONY: all check build test race race-all vet cover bench microbench experiments examples clean
 
 all: check
 
@@ -15,10 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with real concurrency: the HTTP service layer and
-# the catalog/executor underneath it.
+# Race-check the packages with real concurrency: the HTTP service layer, the
+# catalog/executor underneath it, and the shared metric/span registry.
 race:
-	$(GO) test -race ./internal/server/... ./internal/sdb/...
+	$(GO) test -race ./internal/server/... ./internal/sdb/... ./internal/obs/...
 
 race-all:
 	$(GO) test -race ./...
@@ -30,9 +30,14 @@ cover:
 	$(GO) test -coverprofile=cover.out ./internal/... ./cmd/...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# One benchmark per paper figure panel plus ablations and extensions.
-# SPATIALSEL_BENCH_SCALE (default 0.02) scales dataset cardinalities.
+# Machine-readable perf snapshot: runs the fixed estimator/join workload and
+# writes BENCH_<date>.json (latency percentiles, accuracy, engine counters).
 bench:
+	$(GO) run ./cmd/benchrun -scale 0.1 -out .
+
+# One Go benchmark per paper figure panel plus ablations and extensions.
+# SPATIALSEL_BENCH_SCALE (default 0.02) scales dataset cardinalities.
+microbench:
 	$(GO) test -bench . -benchmem ./...
 
 # Regenerate the paper's evaluation tables at a tenth of its cardinalities.

@@ -1,0 +1,311 @@
+// Command benchrun executes a fixed estimator/join workload and writes a
+// machine-readable BENCH_<date>.json snapshot: per-method estimation accuracy
+// and latency percentiles, join execution latency, and the engine's obs
+// counters. Committing one snapshot per perf-relevant PR makes the repo's
+// performance trajectory diffable.
+//
+//	$ go run ./cmd/benchrun -scale 0.2 -out .
+//	$ cat BENCH_2026-08-05.json | jq .methods.gh
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"spatialsel/internal/core"
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/dataset"
+	"spatialsel/internal/histogram"
+	"spatialsel/internal/obs"
+	"spatialsel/internal/sample"
+	"spatialsel/internal/sdb"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date      string             `json:"date"`
+	GoVersion string             `json:"go_version"`
+	Scale     float64            `json:"scale"`
+	Level     int                `json:"level"`
+	Iters     int                `json:"iters"`
+	Workloads []WorkloadReport   `json:"workloads"`
+	Counters  map[string]float64 `json:"counters"`
+}
+
+// WorkloadReport covers one dataset pair: the executed join truth, its
+// latency, and every estimation method measured against it.
+type WorkloadReport struct {
+	Name        string                  `json:"name"`
+	LeftItems   int                     `json:"left_items"`
+	RightItems  int                     `json:"right_items"`
+	ActualPairs int                     `json:"actual_pairs"`
+	JoinMicros  Percentiles             `json:"join_micros"`
+	Methods     map[string]MethodReport `json:"methods"`
+}
+
+// MethodReport is one estimator's accuracy and cost on one workload.
+type MethodReport struct {
+	Estimate  float64     `json:"estimate"`
+	RelError  float64     `json:"rel_error"`
+	EstMicros Percentiles `json:"estimate_micros"`
+}
+
+// Percentiles summarizes a latency sample in microseconds.
+type Percentiles struct {
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+	Max int64 `json:"max"`
+}
+
+func percentiles(us []int64) Percentiles {
+	if len(us) == 0 {
+		return Percentiles{}
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i] < us[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(us)-1))
+		return us[i]
+	}
+	return Percentiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: us[len(us)-1]}
+}
+
+// workload is one fixed dataset pair; n values are pre-scale cardinalities.
+type workload struct {
+	name          string
+	left, right   func(n int, seed int64) *dataset.Dataset
+	nLeft, nRight int
+}
+
+var workloads = []workload{
+	{
+		name: "uniform-uniform",
+		left: func(n int, seed int64) *dataset.Dataset {
+			return datagen.Uniform("u1", n, 0.005, seed)
+		},
+		right: func(n int, seed int64) *dataset.Dataset {
+			return datagen.Uniform("u2", n, 0.005, seed)
+		},
+		nLeft: 20000, nRight: 20000,
+	},
+	{
+		name: "polyline-polyline",
+		left: func(n int, seed int64) *dataset.Dataset {
+			return datagen.PolylineTrace("p1", n, 50, 0.004, seed)
+		},
+		right: func(n int, seed int64) *dataset.Dataset {
+			return datagen.PolylineTrace("p2", n, 50, 0.004, seed)
+		},
+		nLeft: 20000, nRight: 6000,
+	},
+	{
+		name: "cluster-uniform",
+		left: func(n int, seed int64) *dataset.Dataset {
+			return datagen.Cluster("c1", n, 0.4, 0.6, 0.1, 0.005, seed)
+		},
+		right: func(n int, seed int64) *dataset.Dataset {
+			return datagen.Uniform("u3", n, 0.005, seed)
+		},
+		nLeft: 15000, nRight: 15000,
+	},
+}
+
+var methods = []string{"gh", "basicgh", "ph", "rs", "rswr", "ss"}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
+	scale := fs.Float64("scale", 0.2, "dataset cardinality multiplier")
+	level := fs.Int("level", sdb.StatisticsLevel, "GH statistics level")
+	iters := fs.Int("iters", 9, "timed repetitions per measurement")
+	fraction := fs.Float64("fraction", 0.1, "sampling fraction for rs/rswr/ss")
+	outDir := fs.String("out", ".", "directory for BENCH_<date>.json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	before := obs.Default.Snapshot()
+	rep := Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Scale:     *scale,
+		Level:     *level,
+		Iters:     *iters,
+	}
+
+	for i, w := range workloads {
+		wr, err := runWorkload(w, *scale, *level, *iters, *fraction, int64(i+1))
+		if err != nil {
+			return fmt.Errorf("workload %s: %w", w.name, err)
+		}
+		rep.Workloads = append(rep.Workloads, wr)
+		fmt.Fprintf(os.Stderr, "%-20s actual=%d join_p50=%dµs gh_err=%.3f\n",
+			w.name, wr.ActualPairs, wr.JoinMicros.P50, wr.Methods["gh"].RelError)
+	}
+
+	// Counter deltas attribute the whole run's engine work (node visits,
+	// cells touched, sample draws) to this snapshot.
+	rep.Counters = map[string]float64{}
+	for name, v := range obs.Default.Snapshot() {
+		if d := v - before[name]; d != 0 {
+			rep.Counters[name] = d
+		}
+	}
+
+	path := filepath.Join(*outDir, "BENCH_"+rep.Date+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println(path)
+	return nil
+}
+
+func runWorkload(w workload, scale float64, level, iters int, fraction float64, seed int64) (WorkloadReport, error) {
+	nl, nr := int(float64(w.nLeft)*scale), int(float64(w.nRight)*scale)
+	if nl < 10 || nr < 10 {
+		return WorkloadReport{}, fmt.Errorf("scale %g leaves too few items (%d, %d)", scale, nl, nr)
+	}
+	c, err := sdb.NewCatalogAtLevel(level)
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+	dl, dr := w.left(nl, seed), w.right(nr, seed+100)
+	dl.Name, dr.Name = "l", "r"
+	tl, err := c.Create(dl)
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+	tr, err := c.Create(dr)
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+
+	plan, err := c.Plan(sdb.Query{
+		Tables:     []string{"l", "r"},
+		Predicates: []sdb.Predicate{{Left: "l", Right: "r"}},
+	})
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+
+	wr := WorkloadReport{
+		Name:      w.name,
+		LeftItems: tl.Len(), RightItems: tr.Len(),
+		Methods: make(map[string]MethodReport, len(methods)),
+	}
+
+	joinTimes := make([]int64, 0, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		res, err := plan.ExecuteContext(context.Background())
+		if err != nil {
+			return WorkloadReport{}, err
+		}
+		joinTimes = append(joinTimes, time.Since(start).Microseconds())
+		wr.ActualPairs = res.Len()
+	}
+	wr.JoinMicros = percentiles(joinTimes)
+
+	for _, m := range methods {
+		mr, err := runMethod(m, tl, tr, level, iters, fraction, float64(wr.ActualPairs))
+		if err != nil {
+			return WorkloadReport{}, err
+		}
+		wr.Methods[m] = mr
+	}
+	return wr, nil
+}
+
+// runMethod times build+estimate end to end — for sampling estimators the
+// sample draw is the dominant cost and must be inside the clock, matching how
+// the paper accounts estimation cost.
+func runMethod(m string, a, b *sdb.Table, level, iters int, fraction float64, actual float64) (MethodReport, error) {
+	times := make([]int64, 0, iters)
+	var est core.Estimate
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		var err error
+		est, err = estimateOnce(m, a, b, level, fraction)
+		if err != nil {
+			return MethodReport{}, err
+		}
+		times = append(times, time.Since(start).Microseconds())
+	}
+	denom := actual
+	if denom <= 0 {
+		denom = 1
+	}
+	rel := (est.PairCount - actual) / denom
+	if rel < 0 {
+		rel = -rel
+	}
+	return MethodReport{Estimate: est.PairCount, RelError: rel, EstMicros: percentiles(times)}, nil
+}
+
+func estimateOnce(m string, a, b *sdb.Table, level int, fraction float64) (core.Estimate, error) {
+	switch m {
+	case "gh":
+		t, err := histogram.NewGH(level)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		// GH estimates straight off the catalog's precomputed statistics —
+		// the paper's point is that this path touches no base data.
+		return t.Estimate(a.Stats, b.Stats)
+	case "basicgh":
+		t, err := histogram.NewBasicGH(level)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		return buildAndEstimate(t, a, b)
+	case "ph":
+		t, err := histogram.NewPH(level)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		return buildAndEstimate(t, a, b)
+	case "rs", "rswr", "ss":
+		kind := map[string]sample.Method{"rs": sample.RS, "rswr": sample.RSWR, "ss": sample.SS}[m]
+		t, err := sample.New(kind, fraction, sample.WithSeed(1))
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		return buildAndEstimate(t, a, b)
+	}
+	return core.Estimate{}, fmt.Errorf("unknown method %q", m)
+}
+
+func buildAndEstimate(t core.Technique, a, b *sdb.Table) (core.Estimate, error) {
+	sa, err := t.Build(a.Data)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	sb, err := t.Build(b.Data)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	return t.Estimate(sa, sb)
+}

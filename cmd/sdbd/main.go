@@ -32,9 +32,18 @@ func main() {
 	}
 }
 
-// run parses flags and serves until SIGINT/SIGTERM; split from main so tests
-// can drive it.
-func run(args []string, logw *os.File) error {
+// options is the parsed command line: the server Config plus daemon-only
+// settings. Split out of run so tests can assert flag defaults (notably that
+// the debug endpoints are opt-in).
+type options struct {
+	cfg   server.Config
+	addr  string
+	grace time.Duration
+	load  string
+}
+
+// parseFlags builds the daemon's options from argv.
+func parseFlags(args []string) (*options, error) {
 	fs := flag.NewFlagSet("sdbd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	level := fs.Int("level", 0, "GH statistics level (0 = paper default, level 7)")
@@ -43,35 +52,54 @@ func run(args []string, logw *os.File) error {
 	maxRows := fs.Int("max-rows", 10000, "max result rows per query response")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
 	load := fs.String("load", "", "directory of .sds dataset files to preload as tables")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
+	enableExpvar := fs.Bool("expvar", false, "mount expvar at /debug/vars (off by default)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return nil, err
 	}
-
-	logger := slog.New(slog.NewJSONHandler(logw, nil))
-	cfg := server.Config{
-		Level:          *level,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *timeout,
-		MaxResultRows:  *maxRows,
-		Logger:         logger,
+	opts := &options{
+		cfg: server.Config{
+			Level:          *level,
+			CacheSize:      *cacheSize,
+			RequestTimeout: *timeout,
+			MaxResultRows:  *maxRows,
+			EnablePprof:    *enablePprof,
+			EnableExpvar:   *enableExpvar,
+		},
+		addr:  *addr,
+		grace: *grace,
+		load:  *load,
 	}
 	if *timeout == 0 {
-		cfg.RequestTimeout = -1 // Config: negative disables, zero means default
+		opts.cfg.RequestTimeout = -1 // Config: negative disables, zero means default
 	}
-	srv, err := server.New(cfg)
+	return opts, nil
+}
+
+// run parses flags and serves until SIGINT/SIGTERM; split from main so tests
+// can drive it.
+func run(args []string, logw *os.File) error {
+	opts, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
-	if *load != "" {
-		if err := preload(srv, *load); err != nil {
+	logger := slog.New(slog.NewJSONHandler(logw, nil))
+	opts.cfg.Logger = logger
+	srv, err := server.New(opts.cfg)
+	if err != nil {
+		return err
+	}
+	if opts.load != "" {
+		if err := preload(srv, opts.load); err != nil {
 			return err
 		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	logger.Info("sdbd listening", "addr", *addr, "stats_level", srv.Store().Level())
-	err = srv.ListenAndServe(ctx, *addr, *grace)
+	logger.Info("sdbd listening", "addr", opts.addr, "stats_level", srv.Store().Level(),
+		"pprof", opts.cfg.EnablePprof, "expvar", opts.cfg.EnableExpvar)
+	err = srv.ListenAndServe(ctx, opts.addr, opts.grace)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}

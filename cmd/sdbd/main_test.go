@@ -15,6 +15,25 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
+func TestDebugEndpointsOptIn(t *testing.T) {
+	opts, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.EnablePprof || opts.cfg.EnableExpvar {
+		t.Fatalf("debug endpoints must default off, got pprof=%v expvar=%v",
+			opts.cfg.EnablePprof, opts.cfg.EnableExpvar)
+	}
+	opts, err = parseFlags([]string{"-pprof", "-expvar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.cfg.EnablePprof || !opts.cfg.EnableExpvar {
+		t.Fatalf("flags did not enable debug endpoints: pprof=%v expvar=%v",
+			opts.cfg.EnablePprof, opts.cfg.EnableExpvar)
+	}
+}
+
 func TestPreload(t *testing.T) {
 	dir := t.TempDir()
 	if err := dataset.SaveFile(filepath.Join(dir, "roads.sds"), datagen.Uniform("x", 200, 0.01, 1)); err != nil {

@@ -2,6 +2,7 @@ package histogram
 
 import (
 	"fmt"
+	"time"
 
 	"spatialsel/internal/core"
 	"spatialsel/internal/dataset"
@@ -82,10 +83,12 @@ func (s *GHSummary) Level() int { return s.level }
 // Build implements core.Technique: one pass over the (normalized) dataset
 // accumulating C, O, H and V.
 func (g *GH) Build(d *dataset.Dataset) (core.Summary, error) {
+	start := time.Now()
 	nd := d.Normalize()
 	grid := g.grid
 	cells := make([]ghCell, grid.Cells())
 	accumulateGH(grid, nd.Items, cells)
+	recordBuild("gh", start, d.Len())
 	return &GHSummary{name: d.Name, n: d.Len(), level: grid.Level(), cells: cells}, nil
 }
 
@@ -135,6 +138,7 @@ func (g *GH) Estimate(a, b core.Summary) (core.Estimate, error) {
 		ca, cb := &sa.cells[idx], &sb.cells[idx]
 		ip += ca.C*cb.O + cb.C*ca.O + ca.H*cb.V + cb.H*ca.V
 	}
+	recordEstimate("gh", len(sa.cells))
 	return core.NewEstimate(ip/4, sa.n, sb.n), nil
 }
 
@@ -204,6 +208,8 @@ func (s *BasicGHSummary) SizeBytes() int64 { return int64(len(s.cells))*32 + 24 
 
 // Build implements core.Technique.
 func (g *BasicGH) Build(d *dataset.Dataset) (core.Summary, error) {
+	start := time.Now()
+	defer func() { recordBuild("basicgh", start, d.Len()) }()
 	nd := d.Normalize()
 	grid := g.grid
 	cells := make([]basicCell, grid.Cells())
@@ -257,5 +263,6 @@ func (g *BasicGH) Estimate(a, b core.Summary) (core.Estimate, error) {
 		ca, cb := &sa.cells[idx], &sb.cells[idx]
 		ip += ca.C*cb.I + ca.I*cb.C + ca.V*cb.H + ca.H*cb.V
 	}
+	recordEstimate("basicgh", len(sa.cells))
 	return core.NewEstimate(ip/4, sa.n, sb.n), nil
 }

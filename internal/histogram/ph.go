@@ -2,6 +2,7 @@ package histogram
 
 import (
 	"fmt"
+	"time"
 
 	"spatialsel/internal/core"
 	"spatialsel/internal/dataset"
@@ -107,6 +108,8 @@ func (s *PHSummary) AvgSpan() float64 { return s.avgSpan }
 // Build implements core.Technique: one pass over the (normalized) dataset
 // accumulating the Table-1 parameters.
 func (p *PH) Build(d *dataset.Dataset) (core.Summary, error) {
+	start := time.Now()
+	defer func() { recordBuild("ph", start, d.Len()) }()
 	nd := d.Normalize()
 	g := p.grid
 	cells := make([]phCell, g.Cells())
@@ -187,6 +190,7 @@ func (p *PH) Estimate(a, b core.Summary) (core.Estimate, error) {
 	if p.spanCorrection {
 		sumD /= (sa.avgSpan + sb.avgSpan) / 2
 	}
+	recordEstimate("ph", len(sa.cells))
 	return core.NewEstimate(sumABC+sumD, sa.n, sb.n), nil
 }
 

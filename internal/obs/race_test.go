@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRegistryHammer drives counters, gauges, and histograms from
+// 32 goroutines — half of them also creating new labeled series — while a
+// renderer loops concurrently. Run under -race (make race covers this
+// package); correctness assertion is that fully-synchronized totals add up.
+func TestConcurrentRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 32
+	const iters = 1000
+
+	c := r.Counter("hammer_total", "h")
+	g := r.Gauge("hammer_gauge", "h")
+	h := r.Histogram("hammer_seconds", "h", []float64{0.001, 0.01, 0.1, 1})
+
+	stop := make(chan struct{})
+	var renderWG sync.WaitGroup
+	renderWG.Add(1)
+	go func() {
+		defer renderWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Render()
+				_ = r.Snapshot()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < iters; k++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(k%7) / 100)
+				if id%2 == 0 {
+					// Hot-path get-or-create of labeled series.
+					r.Counter("hammer_labeled_total", "h", L("worker", fmt.Sprint(id%4))).Inc()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	renderWG.Wait()
+
+	if c.Value() != goroutines*iters {
+		t.Fatalf("counter = %d, want %d", c.Value(), goroutines*iters)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != goroutines*iters {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), goroutines*iters)
+	}
+	var labeled uint64
+	for i := 0; i < 4; i++ {
+		labeled += r.Counter("hammer_labeled_total", "h", L("worker", fmt.Sprint(i))).Value()
+	}
+	if labeled != goroutines/2*iters {
+		t.Fatalf("labeled total = %d, want %d", labeled, goroutines/2*iters)
+	}
+}

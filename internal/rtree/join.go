@@ -5,6 +5,23 @@ import (
 	"sort"
 
 	"spatialsel/internal/geom"
+	"spatialsel/internal/obs"
+)
+
+// Engine-level join counters. Each synchronized traversal accumulates into
+// plain ints on its joinRun and flushes here once at the end, so the hot
+// path pays no atomics per node or per pair.
+var (
+	mJoins = obs.Default.Counter("rtree_joins_total",
+		"Synchronized R-tree joins started.")
+	mJoinNodeVisits = obs.Default.Counter("rtree_join_node_visits_total",
+		"R-tree nodes visited by synchronized joins.")
+	mJoinLeafCompares = obs.Default.Counter("rtree_join_leaf_compares_total",
+		"Candidate MBR pairs examined by the join plane sweep.")
+	mJoinOutputPairs = obs.Default.Counter("rtree_join_output_pairs_total",
+		"Intersecting pairs emitted by synchronized joins.")
+	mJoinCancelPolls = obs.Default.Counter("rtree_join_cancel_polls_total",
+		"Context cancellation polls performed by synchronized joins.")
 )
 
 // JoinPair is one result of a spatial join: the IDs of an intersecting pair,
@@ -50,6 +67,7 @@ const cancelCheckInterval = 32
 // per batch of node visits and, when it is done, the traversal stops and the
 // context's error is returned. A nil error means the join ran to completion.
 func JoinFuncContext(ctx context.Context, a, b *Tree, emit func(aID, bID int)) error {
+	mJoins.Inc()
 	if a.root == nil || b.root == nil {
 		return nil
 	}
@@ -58,8 +76,24 @@ func JoinFuncContext(ctx context.Context, a, b *Tree, emit func(aID, bID int)) e
 	if !ok {
 		return nil
 	}
-	j := &joinRun{ta: a, tb: b, emit: emit, ctx: ctx}
+	sp := obs.SpanFrom(ctx).Child("rtree.join")
+	j := &joinRun{ta: a, tb: b, ctx: ctx}
+	j.emit = func(pa, pb int) {
+		j.pairs++
+		emit(pa, pb)
+	}
 	j.joinNodes(a.root, b.root, clip)
+	mJoinNodeVisits.Add(uint64(j.visits))
+	mJoinLeafCompares.Add(uint64(j.compares))
+	mJoinOutputPairs.Add(uint64(j.pairs))
+	mJoinCancelPolls.Add(uint64(j.polls))
+	if sp != nil {
+		sp.Set("node_visits", float64(j.visits))
+		sp.Set("leaf_compares", float64(j.compares))
+		sp.Set("output_pairs", float64(j.pairs))
+		sp.Set("cancel_polls", float64(j.polls))
+		sp.End()
+	}
 	return j.err
 }
 
@@ -67,11 +101,14 @@ func JoinFuncContext(ctx context.Context, a, b *Tree, emit func(aID, bID int)) e
 // accounting), the emit callback, and the cancellation context with its
 // visit counter.
 type joinRun struct {
-	ta, tb *Tree
-	emit   func(int, int)
-	ctx    context.Context
-	visits int
-	err    error
+	ta, tb   *Tree
+	emit     func(int, int)
+	ctx      context.Context
+	visits   int
+	polls    int
+	compares int
+	pairs    int
+	err      error
 }
 
 // cancelled polls the run's context every cancelCheckInterval node visits;
@@ -86,6 +123,7 @@ func (j *joinRun) cancelled() bool {
 	}
 	j.visits++
 	if j.visits%cancelCheckInterval == 0 {
+		j.polls++
 		if err := j.ctx.Err(); err != nil {
 			j.err = err
 			return true
@@ -104,7 +142,7 @@ func (j *joinRun) joinNodes(na, nb *node, clip geom.Rect) {
 	j.tb.touch(nb)
 	switch {
 	case na.leaf && nb.leaf:
-		sweepEntries(na.entries, nb.entries, clip, func(ea, eb *entry) {
+		sweepEntries(na.entries, nb.entries, clip, &j.compares, func(ea, eb *entry) {
 			j.emit(ea.id, eb.id)
 		})
 	case na.leaf:
@@ -123,7 +161,7 @@ func (j *joinRun) joinNodes(na, nb *node, clip geom.Rect) {
 			}
 		}
 	default:
-		sweepEntries(na.entries, nb.entries, clip, func(ea, eb *entry) {
+		sweepEntries(na.entries, nb.entries, clip, &j.compares, func(ea, eb *entry) {
 			if sub, ok := ea.rect.Intersection(eb.rect); ok {
 				j.joinNodes(ea.child, eb.child, sub)
 			}
@@ -144,7 +182,7 @@ func (j *joinRun) joinLeafNode(leaf, sub *node, clip geom.Rect, swapped bool) {
 		j.tb.touch(sub)
 	}
 	if sub.leaf {
-		sweepEntries(leaf.entries, sub.entries, clip, func(el, es *entry) {
+		sweepEntries(leaf.entries, sub.entries, clip, &j.compares, func(el, es *entry) {
 			if swapped {
 				j.emit(es.id, el.id)
 			} else {
@@ -163,7 +201,9 @@ func (j *joinRun) joinLeafNode(leaf, sub *node, clip geom.Rect, swapped bool) {
 
 // sweepEntries reports all intersecting entry pairs between two entry lists,
 // considering only entries that intersect clip, via a plane sweep over MinX.
-func sweepEntries(as, bs []entry, clip geom.Rect, report func(*entry, *entry)) {
+// compares, when non-nil, accumulates how many candidate pairs the sweep
+// examined (the join's CPU-work proxy).
+func sweepEntries(as, bs []entry, clip geom.Rect, compares *int, report func(*entry, *entry)) {
 	fa := filterByClip(as, clip)
 	fb := filterByClip(bs, clip)
 	if len(fa) == 0 || len(fb) == 0 {
@@ -174,10 +214,10 @@ func sweepEntries(as, bs []entry, clip geom.Rect, report func(*entry, *entry)) {
 	i, j := 0, 0
 	for i < len(fa) && j < len(fb) {
 		if fa[i].rect.MinX <= fb[j].rect.MinX {
-			sweepOne(fa[i], fb, j, report, false)
+			sweepOne(fa[i], fb, j, compares, report, false)
 			i++
 		} else {
-			sweepOne(fb[j], fa, i, report, true)
+			sweepOne(fb[j], fa, i, compares, report, true)
 			j++
 		}
 	}
@@ -185,10 +225,13 @@ func sweepEntries(as, bs []entry, clip geom.Rect, report func(*entry, *entry)) {
 
 // sweepOne scans candidates from index start while their MinX is within
 // pivot's x-range, reporting y-overlaps.
-func sweepOne(pivot *entry, candidates []*entry, start int, report func(*entry, *entry), swapped bool) {
+func sweepOne(pivot *entry, candidates []*entry, start int, compares *int, report func(*entry, *entry), swapped bool) {
 	maxX := pivot.rect.MaxX
 	for k := start; k < len(candidates) && candidates[k].rect.MinX <= maxX; k++ {
 		c := candidates[k]
+		if compares != nil {
+			*compares++
+		}
 		if pivot.rect.MinY <= c.rect.MaxY && c.rect.MinY <= pivot.rect.MaxY {
 			if swapped {
 				report(c, pivot)

@@ -80,7 +80,7 @@ func JoinCountParallel(a, b *Tree, workers int) int {
 			for tk := range ch {
 				switch {
 				case tk.na.leaf && tk.nb.leaf:
-					sweepEntries(tk.na.entries, tk.nb.entries, tk.clip, func(_, _ *entry) {
+					sweepEntries(tk.na.entries, tk.nb.entries, tk.clip, nil, func(_, _ *entry) {
 						local++
 					})
 				default:

@@ -22,8 +22,22 @@ import (
 	"spatialsel/internal/dataset"
 	"spatialsel/internal/geom"
 	"spatialsel/internal/hilbert"
+	"spatialsel/internal/obs"
 	"spatialsel/internal/rtree"
 	"spatialsel/internal/sweep"
+)
+
+// Engine-level sampling counters: how many items the estimators draw and how
+// many sample-join hits their estimates observe before scaling.
+var (
+	mSampleBuilds = obs.Default.Counter("sample_builds_total",
+		"Sampling summaries built.")
+	mSampleDraws = obs.Default.Counter("sample_draws_total",
+		"Items drawn into samples across builds.")
+	mSampleEstimates = obs.Default.Counter("sample_estimates_total",
+		"Sampling-based join estimates computed.")
+	mSampleJoinHits = obs.Default.Counter("sample_join_hits_total",
+		"Intersecting sample pairs observed during estimates.")
 )
 
 // Method selects how sample items are picked.
@@ -163,6 +177,8 @@ func (t *Technique) Build(d *dataset.Dataset) (core.Summary, error) {
 		return nil, fmt.Errorf("sample: dataset %q is empty", d.Name)
 	}
 	smp := t.draw(d)
+	mSampleBuilds.Inc()
+	mSampleDraws.Add(uint64(len(smp)))
 	s := &Summary{
 		name:     d.Name,
 		items:    d.Len(),
@@ -268,6 +284,8 @@ func (t *Technique) Estimate(a, b core.Summary) (core.Estimate, error) {
 	} else {
 		count = sweep.Count(sa.sample, sb.sample)
 	}
+	mSampleEstimates.Inc()
+	mSampleJoinHits.Add(uint64(count))
 	if sa.achieved == 0 || sb.achieved == 0 {
 		return core.Estimate{}, fmt.Errorf("sample: zero achieved fraction")
 	}

@@ -57,7 +57,11 @@ func TestExecuteContextCancelled(t *testing.T) {
 }
 
 func TestExecuteContextDeadlineAbortsPromptly(t *testing.T) {
-	plan := planFixture(t, 8000)
+	// The workload must outlast the runtime's ~10ms sysmon preemption
+	// window: on a single-CPU box a shorter CPU-bound execution finishes
+	// before the deadline timer can even fire, and the poll never sees an
+	// expired context (observed as a flake at n=8000 / 1ms).
+	plan := planFixture(t, 24000)
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
 	start := time.Now()

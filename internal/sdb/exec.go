@@ -5,8 +5,46 @@ import (
 	"fmt"
 
 	"spatialsel/internal/geom"
+	"spatialsel/internal/obs"
 	"spatialsel/internal/rtree"
 )
+
+// Engine-level executor counters.
+var (
+	mExecQueries = obs.Default.Counter("sdb_exec_queries_total",
+		"Plans executed.")
+	mExecRows = obs.Default.Counter("sdb_exec_rows_total",
+		"Result rows materialized by the executor, summed over operators.")
+	mExecProbeRows = obs.Default.Counter("sdb_exec_probe_rows_total",
+		"Index probes issued by extension steps.")
+)
+
+// relError is the paper's estimation error |est − actual| / actual; an
+// actual of zero reports the estimate itself (the error against 1), keeping
+// the value finite for empty joins.
+func relError(est, actual float64) float64 {
+	den := actual
+	if den <= 0 {
+		den = 1
+	}
+	e := est - actual
+	if e < 0 {
+		e = -e
+	}
+	return e / den
+}
+
+// annotateOperator stamps an operator span with its cardinalities: the
+// planner's estimate, the observed row count, and the resulting relative
+// error — the per-operator numbers EXPLAIN ANALYZE reports.
+func annotateOperator(sp *obs.Span, estRows float64, rows int) {
+	if sp == nil {
+		return
+	}
+	sp.Set("est_rows", estRows)
+	sp.Set("rows", float64(rows))
+	sp.Set("rel_error", relError(estRows, float64(rows)))
+}
 
 // Result is a materialized join result: one column of item indices per
 // table, in Columns order; Rows[i][j] indexes into the Columns[j] table's
@@ -38,6 +76,12 @@ const cancelRowBatch = 256
 func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 	c := p.catalog
 	q := p.query
+	mExecQueries.Inc()
+
+	// When the caller installed a trace (EXPLAIN ANALYZE), every operator
+	// below records into a child span; otherwise the spans are nil and free.
+	ctx, execSp := obs.StartSpan(ctx, "execute")
+	defer execSp.End()
 
 	// Per-table windows applied as row filters.
 	passes := func(table string, id int) (bool, error) {
@@ -72,7 +116,8 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 	}
 	var rows [][]int
 	var ferr error
-	jerr := rtree.JoinFuncContext(ctx, baseTab.Index, stepTab.Index, func(a, b int) {
+	jctx, joinSp := obs.StartSpan(ctx, "join "+p.Base+" ⋈ "+first.Table)
+	jerr := rtree.JoinFuncContext(jctx, baseTab.Index, stepTab.Index, func(a, b int) {
 		if ferr != nil {
 			return
 		}
@@ -95,6 +140,9 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 			rows = append(rows, row)
 		}
 	})
+	annotateOperator(joinSp, first.EstRows, len(rows))
+	joinSp.End()
+	mExecRows.Add(uint64(len(rows)))
 	if jerr != nil {
 		return nil, jerr
 	}
@@ -109,6 +157,8 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		_, stepSp := obs.StartSpan(ctx, "probe "+s.Table)
+		probes := 0
 		col := colOf[s.Table]
 		var next [][]int
 		for ri, row := range rows {
@@ -123,6 +173,7 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			probes++
 			probe = tab.Index.Search(drive, probe[:0])
 			for _, cand := range probe {
 				ok, err := passes(s.Table, cand)
@@ -142,6 +193,11 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 			}
 		}
 		rows = next
+		annotateOperator(stepSp, s.EstRows, len(rows))
+		stepSp.Set("probe_rows", float64(probes))
+		stepSp.End()
+		mExecRows.Add(uint64(len(rows)))
+		mExecProbeRows.Add(uint64(probes))
 	}
 	return &Result{Columns: cols, Rows: rows}, nil
 }

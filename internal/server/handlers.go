@@ -16,6 +16,7 @@ import (
 	"spatialsel/internal/geom"
 	"spatialsel/internal/histogram"
 	"spatialsel/internal/iomodel"
+	"spatialsel/internal/obs"
 	"spatialsel/internal/sample"
 	"spatialsel/internal/sdb"
 )
@@ -232,9 +233,9 @@ func (s *Server) handleDropTable(w http.ResponseWriter, r *http.Request) {
 
 // QuerySpec is the wire form of a multi-way join query.
 type QuerySpec struct {
-	Tables     []string                `json:"tables"`
-	Predicates [][2]string             `json:"predicates"`
-	Windows    map[string][4]float64   `json:"windows,omitempty"`
+	Tables     []string              `json:"tables"`
+	Predicates [][2]string           `json:"predicates"`
+	Windows    map[string][4]float64 `json:"windows,omitempty"`
 }
 
 func (qs *QuerySpec) toQuery() sdb.Query {
@@ -494,15 +495,20 @@ type QueryRequest struct {
 }
 
 // QueryResponse returns a page of result rows (item indices per column) plus
-// the totals the page was cut from.
+// the totals the page was cut from. With ?analyze=1 it also carries the
+// EXPLAIN ANALYZE span tree: per-operator elapsed time, actual rows, the
+// planner's estimate, and the resulting relative error.
 type QueryResponse struct {
-	Columns       []string `json:"columns"`
-	Rows          [][]int  `json:"rows"`
-	TotalRows     int      `json:"total_rows"`
-	Offset        int      `json:"offset"`
-	Truncated     bool     `json:"truncated"`
-	EstRows       float64  `json:"est_rows"`
-	ElapsedMicros int64    `json:"elapsed_micros"`
+	Columns       []string        `json:"columns"`
+	Rows          [][]int         `json:"rows"`
+	TotalRows     int             `json:"total_rows"`
+	Offset        int             `json:"offset"`
+	Truncated     bool            `json:"truncated"`
+	EstRows       float64         `json:"est_rows"`
+	ElapsedMicros int64           `json:"elapsed_micros"`
+	TraceID       string          `json:"trace_id,omitempty"`
+	Analyze       *obs.SpanReport `json:"analyze,omitempty"`
+	AnalyzeText   string          `json:"analyze_text,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -515,31 +521,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Snapshot()
 	qs := QuerySpec{Tables: req.Tables, Predicates: req.Predicates, Windows: req.Windows}
 	q := qs.toQuery()
+
+	// ?analyze=1 installs a trace root; the executor's operator spans hang
+	// off it. Without the flag no trace exists and the engine's StartSpan
+	// calls are free.
+	ctx := r.Context()
+	var root *obs.Span
+	if v := r.URL.Query().Get("analyze"); v == "1" || v == "true" {
+		ctx, root = obs.NewTrace(ctx, "query")
+	}
+
+	_, planSp := obs.StartSpan(ctx, "plan")
 	plan, err := snap.Catalog.Plan(q)
 	if err != nil {
 		writeError(w, statusForError(err), "%v", err)
 		return
 	}
-	res, err := plan.ExecuteContext(r.Context())
+	planSp.Set("est_rows", plan.Steps[len(plan.Steps)-1].EstRows)
+	planSp.Set("est_cost", plan.EstCost)
+	planSp.End()
+
+	res, err := plan.ExecuteContext(ctx)
 	if err != nil {
 		writeError(w, statusForError(err), "%v", err)
 		return
 	}
+	root.End()
 
-	// Close the estimation loop: a pairwise query that could have been (or
-	// was) estimated feeds the live estimate-vs-actual error metric. Windowed
-	// queries are skipped — the GH estimate predicts the unfiltered join.
-	if len(q.Tables) == 2 && len(q.Predicates) == 1 && len(q.Windows) == 0 {
-		if est, _, eerr := s.estimatePair(r.Context(), snap, q.Tables[0], q.Tables[1], "gh", 0); eerr == nil {
-			actual := float64(res.Len())
-			if actual > 0 {
-				relErr := est.PairCount - actual
-				if relErr < 0 {
-					relErr = -relErr
-				}
-				s.metrics.RecordEstimateError(relErr / actual)
-			}
+	// Close the estimation loop: every executed join feeds the live
+	// estimate-vs-actual error histogram with the planner's final
+	// cardinality estimate (which already accounts for windows) against the
+	// materialized row count.
+	estRows := plan.Steps[len(plan.Steps)-1].EstRows
+	if actual := float64(res.Len()); actual > 0 {
+		d := estRows - actual
+		if d < 0 {
+			d = -d
 		}
+		s.metrics.RecordEstimateError(d / actual)
 	}
 
 	total := res.Len()
@@ -558,15 +577,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if end > total {
 		end = total
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		Columns:       res.Columns,
 		Rows:          res.Rows[offset:end],
 		TotalRows:     total,
 		Offset:        offset,
 		Truncated:     end < total,
-		EstRows:       plan.Steps[len(plan.Steps)-1].EstRows,
+		EstRows:       estRows,
 		ElapsedMicros: time.Since(start).Microseconds(),
-	})
+	}
+	if root != nil {
+		resp.TraceID = obs.TraceID(ctx)
+		resp.Analyze = root.Report()
+		resp.AnalyzeText = resp.Analyze.Text()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- health + metrics -------------------------------------------------
@@ -584,7 +609,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte(s.metrics.Render(s.cache, s.store)))
+	_, _ = w.Write([]byte(s.metrics.Render()))
 }
 
 // sortedRoutes is used by tests and the daemon's startup log.

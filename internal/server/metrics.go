@@ -1,154 +1,80 @@
 package server
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
 	"time"
+
+	"spatialsel/internal/obs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-duration
 // histogram, spanning sub-millisecond estimates to multi-second joins.
 var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
-// routeStats aggregates one route's counters: requests by status code and a
-// cumulative latency histogram.
-type routeStats struct {
-	byCode  map[int]uint64
-	buckets []uint64 // counts ≤ latencyBuckets[i]
-	sum     float64  // total seconds
-	count   uint64
-}
+// errorBuckets are the upper bounds of the estimate-vs-actual relative
+// error histogram. The paper's headline is <5% error, so the low buckets
+// are dense there.
+var errorBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5}
 
-// Metrics is a stdlib-only metrics registry rendered in Prometheus text
-// format. All methods are safe for concurrent use.
+// Metrics is the server's request-level metric registry, backed by
+// internal/obs. Engine-level series (R-tree joins, histogram builds,
+// executor rows) live in obs.Default; Render merges both so /metrics shows
+// the whole stack. All methods are safe for concurrent use, and Render
+// output is deterministic: families and series are emitted in sorted order.
 type Metrics struct {
-	mu       sync.Mutex
-	routes   map[string]*routeStats
-	inflight int64
-
-	// Estimate-vs-actual tracking: when a query executes a join whose
-	// selectivity was (or could have been) estimated, the handler records the
-	// absolute relative error so /metrics exposes how honest the estimates
-	// are in live traffic.
-	estErrSum   float64
-	estErrCount uint64
+	reg      *obs.Registry
+	inflight *obs.Gauge
+	estErr   *obs.Histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{routes: make(map[string]*routeStats)}
+	m := &Metrics{reg: obs.NewRegistry()}
+	m.inflight = m.reg.Gauge("sdbd_inflight_requests",
+		"Requests currently being served.")
+	m.estErr = m.reg.Histogram("sdbd_estimate_rel_error",
+		"Estimate-vs-actual |est-actual|/actual over executed joins.", errorBuckets)
+	return m
 }
 
 // RecordRequest adds one completed request to the route's counters.
 func (m *Metrics) RecordRequest(route string, code int, elapsed time.Duration) {
-	secs := elapsed.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rs, ok := m.routes[route]
-	if !ok {
-		rs = &routeStats{byCode: make(map[int]uint64), buckets: make([]uint64, len(latencyBuckets))}
-		m.routes[route] = rs
-	}
-	rs.byCode[code]++
-	rs.sum += secs
-	rs.count++
-	for i, le := range latencyBuckets {
-		if secs <= le {
-			rs.buckets[i]++
-		}
-	}
+	m.reg.Counter("sdbd_requests_total",
+		"Completed HTTP requests by route and status code.",
+		obs.L("route", route), obs.L("code", strconv.Itoa(code))).Inc()
+	m.reg.Histogram("sdbd_request_duration_seconds",
+		"Request latency histogram by route.", latencyBuckets,
+		obs.L("route", route)).Observe(elapsed.Seconds())
 }
 
 // IncInflight / DecInflight track the number of requests currently being
 // served.
-func (m *Metrics) IncInflight() {
-	m.mu.Lock()
-	m.inflight++
-	m.mu.Unlock()
-}
+func (m *Metrics) IncInflight() { m.inflight.Inc() }
 
 // DecInflight is the matching decrement.
-func (m *Metrics) DecInflight() {
-	m.mu.Lock()
-	m.inflight--
-	m.mu.Unlock()
-}
+func (m *Metrics) DecInflight() { m.inflight.Dec() }
 
 // RecordEstimateError adds one observed |estimate − actual| / actual sample
-// (the paper's Estimation Error, as a fraction rather than percent).
-func (m *Metrics) RecordEstimateError(relErr float64) {
-	m.mu.Lock()
-	m.estErrSum += relErr
-	m.estErrCount++
-	m.mu.Unlock()
+// (the paper's Estimation Error, as a fraction rather than percent) from a
+// really-executed join.
+func (m *Metrics) RecordEstimateError(relErr float64) { m.estErr.Observe(relErr) }
+
+// registerSampled installs render-time-sampled series for the cache and
+// table store. Called once from New; the closures pin the live objects.
+func (m *Metrics) registerSampled(cache *EstimateCache, store *Store) {
+	m.reg.CounterFunc("sdbd_estimate_cache_hits_total", "Estimator cache hits.",
+		func() float64 { h, _ := cache.Counters(); return float64(h) })
+	m.reg.CounterFunc("sdbd_estimate_cache_misses_total", "Estimator cache misses.",
+		func() float64 { _, mi := cache.Counters(); return float64(mi) })
+	m.reg.GaugeFunc("sdbd_estimate_cache_entries", "Estimator cache current size.",
+		func() float64 { return float64(cache.Len()) })
+	m.reg.GaugeFunc("sdbd_tables", "Registered tables.",
+		func() float64 { return float64(len(store.Snapshot().Catalog.Names())) })
 }
 
-// Render writes the registry in Prometheus text exposition format. Cache and
-// table gauges are sampled at render time from the live cache and store.
-func (m *Metrics) Render(cache *EstimateCache, store *Store) string {
-	hits, misses := cache.Counters()
-	entries := cache.Len()
-	tables := len(store.Snapshot().Catalog.Names())
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var b strings.Builder
-
-	b.WriteString("# HELP sdbd_requests_total Completed HTTP requests by route and status code.\n")
-	b.WriteString("# TYPE sdbd_requests_total counter\n")
-	routes := make([]string, 0, len(m.routes))
-	for r := range m.routes {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
-	for _, r := range routes {
-		rs := m.routes[r]
-		codes := make([]int, 0, len(rs.byCode))
-		for c := range rs.byCode {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(&b, "sdbd_requests_total{route=%q,code=\"%d\"} %d\n", r, c, rs.byCode[c])
-		}
-	}
-
-	b.WriteString("# HELP sdbd_request_duration_seconds Request latency histogram by route.\n")
-	b.WriteString("# TYPE sdbd_request_duration_seconds histogram\n")
-	for _, r := range routes {
-		rs := m.routes[r]
-		for i, le := range latencyBuckets {
-			fmt.Fprintf(&b, "sdbd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, le, rs.buckets[i])
-		}
-		fmt.Fprintf(&b, "sdbd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, rs.count)
-		fmt.Fprintf(&b, "sdbd_request_duration_seconds_sum{route=%q} %g\n", r, rs.sum)
-		fmt.Fprintf(&b, "sdbd_request_duration_seconds_count{route=%q} %d\n", r, rs.count)
-	}
-
-	b.WriteString("# HELP sdbd_inflight_requests Requests currently being served.\n")
-	b.WriteString("# TYPE sdbd_inflight_requests gauge\n")
-	fmt.Fprintf(&b, "sdbd_inflight_requests %d\n", m.inflight)
-
-	b.WriteString("# HELP sdbd_estimate_cache_hits_total Estimator cache hits.\n")
-	b.WriteString("# TYPE sdbd_estimate_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "sdbd_estimate_cache_hits_total %d\n", hits)
-	b.WriteString("# HELP sdbd_estimate_cache_misses_total Estimator cache misses.\n")
-	b.WriteString("# TYPE sdbd_estimate_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "sdbd_estimate_cache_misses_total %d\n", misses)
-	b.WriteString("# HELP sdbd_estimate_cache_entries Estimator cache current size.\n")
-	b.WriteString("# TYPE sdbd_estimate_cache_entries gauge\n")
-	fmt.Fprintf(&b, "sdbd_estimate_cache_entries %d\n", entries)
-
-	b.WriteString("# HELP sdbd_estimate_abs_rel_error Cumulative |estimate-actual|/actual over executed joins that had estimates.\n")
-	b.WriteString("# TYPE sdbd_estimate_abs_rel_error summary\n")
-	fmt.Fprintf(&b, "sdbd_estimate_abs_rel_error_sum %g\n", m.estErrSum)
-	fmt.Fprintf(&b, "sdbd_estimate_abs_rel_error_count %d\n", m.estErrCount)
-
-	b.WriteString("# HELP sdbd_tables Registered tables.\n")
-	b.WriteString("# TYPE sdbd_tables gauge\n")
-	fmt.Fprintf(&b, "sdbd_tables %d\n", tables)
-
-	return b.String()
+// Render writes the full exposition: the server's request-level registry
+// merged with the engine-level obs.Default registry, families sorted
+// globally by name.
+func (m *Metrics) Render() string {
+	return obs.RenderMerged(m.reg, obs.Default)
 }

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"spatialsel/internal/obs"
 )
 
 // statusRecorder captures the status code a handler writes so the logging
@@ -32,7 +34,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.metrics.IncInflight()
 		defer s.metrics.DecInflight()
 
-		ctx := r.Context()
+		// Every request gets a trace ID: clients see it in the X-Trace-Id
+		// header (and analyze reports), logs carry it, so one slow query is
+		// greppable end to end.
+		traceID := r.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", traceID)
+
+		ctx := obs.WithTraceID(r.Context(), traceID)
 		if s.requestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
@@ -43,7 +54,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		defer func() {
 			if p := recover(); p != nil {
 				s.logger.Error("panic serving request",
-					"route", route, "panic", p, "stack", string(debug.Stack()))
+					"route", route, "trace_id", traceID, "panic", p, "stack", string(debug.Stack()))
 				// Best effort: the handler may have written already.
 				writeError(rec, http.StatusInternalServerError, "internal error")
 			}
@@ -56,6 +67,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				"status", rec.status,
 				"duration_ms", float64(elapsed.Microseconds())/1000,
 				"remote", r.RemoteAddr,
+				"trace_id", traceID,
 			)
 		}()
 		h(rec, r)

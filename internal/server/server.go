@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"expvar"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"spatialsel/internal/sdb"
@@ -25,6 +27,13 @@ type Config struct {
 	MaxResultRows int
 	// Logger receives structured request logs (default: discard).
 	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and cost CPU, so they
+	// are strictly opt-in (sdbd -pprof).
+	EnablePprof bool
+	// EnableExpvar mounts the expvar handler at /debug/vars. Off by
+	// default, opt-in via sdbd -expvar.
+	EnableExpvar bool
 }
 
 // Server is the HTTP estimation/join service. Create with New, mount with
@@ -74,6 +83,7 @@ func New(cfg Config) (*Server, error) {
 		mux:            http.NewServeMux(),
 		started:        time.Now(),
 	}
+	s.metrics.registerSampled(s.cache, s.store)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/tables", s.handleCreateTable)
@@ -83,6 +93,19 @@ func New(cfg Config) (*Server, error) {
 	s.route("POST /v1/estimate", s.handleEstimate)
 	s.route("POST /v1/explain", s.handleExplain)
 	s.route("POST /v1/query", s.handleQuery)
+	// Debug endpoints are mounted raw (no metrics/timeout middleware): a
+	// 30s CPU profile must not be cut off by the request timeout, and
+	// scrape noise should not pollute the route counters.
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	if cfg.EnableExpvar {
+		s.mux.Handle("GET /debug/vars", expvar.Handler())
+	}
 	return s, nil
 }
 

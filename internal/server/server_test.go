@@ -194,10 +194,11 @@ func TestEndToEnd(t *testing.T) {
 	if hits := metricValue(t, metrics, "sdbd_estimate_cache_hits_total"); hits < 1 {
 		t.Fatalf("cache hits = %v, want >= 1\n%s", hits, metrics)
 	}
-	if n := metricValue(t, metrics, "sdbd_estimate_abs_rel_error_count"); n != 1 {
+	if n := metricValue(t, metrics, "sdbd_estimate_rel_error_count"); n != 1 {
 		t.Fatalf("estimate error samples = %v, want 1", n)
 	}
-	if !strings.Contains(metrics, `sdbd_requests_total{route="POST /v1/estimate",code="200"} 2`) {
+	// Labels render in canonical (sorted-key) order.
+	if !strings.Contains(metrics, `sdbd_requests_total{code="200",route="POST /v1/estimate"} 2`) {
 		t.Fatalf("estimate request counter missing:\n%s", metrics)
 	}
 	if tables := metricValue(t, metrics, "sdbd_tables"); tables != 2 {
