@@ -16,9 +16,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real concurrency: the HTTP service layer, the
-# catalog/executor underneath it, and the shared metric/span registry.
+# catalog/executor underneath it, the parallel join kernels, and the shared
+# metric/span registry.
 race:
-	$(GO) test -race ./internal/server/... ./internal/sdb/... ./internal/obs/...
+	$(GO) test -race ./internal/server/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/...
 
 race-all:
 	$(GO) test -race ./...
@@ -31,7 +32,8 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 # Machine-readable perf snapshot: runs the fixed estimator/join workload and
-# writes BENCH_<date>.json (latency percentiles, accuracy, engine counters).
+# writes BENCH_<date>.json (latency percentiles, accuracy, serial-vs-parallel
+# join kernel comparison with a count-equality gate, engine counters).
 bench:
 	$(GO) run ./cmd/benchrun -scale 0.1 -out .
 

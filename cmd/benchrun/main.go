@@ -24,6 +24,7 @@ import (
 	"spatialsel/internal/dataset"
 	"spatialsel/internal/histogram"
 	"spatialsel/internal/obs"
+	"spatialsel/internal/rtree"
 	"spatialsel/internal/sample"
 	"spatialsel/internal/sdb"
 )
@@ -32,6 +33,8 @@ import (
 type Report struct {
 	Date      string             `json:"date"`
 	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Workers   int                `json:"workers"`
 	Scale     float64            `json:"scale"`
 	Level     int                `json:"level"`
 	Iters     int                `json:"iters"`
@@ -47,7 +50,23 @@ type WorkloadReport struct {
 	RightItems  int                     `json:"right_items"`
 	ActualPairs int                     `json:"actual_pairs"`
 	JoinMicros  Percentiles             `json:"join_micros"`
+	JoinKernel  JoinKernelReport        `json:"join_kernel"`
 	Methods     map[string]MethodReport `json:"methods"`
+}
+
+// JoinKernelReport compares the serial and parallel R-tree join kernels on
+// the workload's index pair — the raw pair enumeration, with no row
+// materialization or filters, so the speedup isolates the join itself. The
+// run fails if the two kernels disagree on the pair count.
+type JoinKernelReport struct {
+	Workers        int         `json:"workers"`
+	SerialMicros   Percentiles `json:"serial_micros"`
+	ParallelMicros Percentiles `json:"parallel_micros"`
+	// Speedup is serial p50 over parallel p50; expect ≥ 2 on ≥ 4 cores, ~1
+	// on a single-CPU host where the pool only adds scheduling overhead.
+	Speedup     float64 `json:"speedup"`
+	Pairs       int     `json:"pairs"`
+	CountsMatch bool    `json:"counts_match"`
 }
 
 // MethodReport is one estimator's accuracy and cost on one workload.
@@ -132,28 +151,35 @@ func run(args []string) error {
 	level := fs.Int("level", sdb.StatisticsLevel, "GH statistics level")
 	iters := fs.Int("iters", 9, "timed repetitions per measurement")
 	fraction := fs.Float64("fraction", 0.1, "sampling fraction for rs/rswr/ss")
+	workers := fs.Int("workers", 0, "parallel join pool size (0 = GOMAXPROCS)")
 	outDir := fs.String("out", ".", "directory for BENCH_<date>.json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 
 	before := obs.Default.Snapshot()
 	rep := Report{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Workers:   *workers,
 		Scale:     *scale,
 		Level:     *level,
 		Iters:     *iters,
 	}
 
 	for i, w := range workloads {
-		wr, err := runWorkload(w, *scale, *level, *iters, *fraction, int64(i+1))
+		wr, err := runWorkload(w, *scale, *level, *iters, *fraction, *workers, int64(i+1))
 		if err != nil {
 			return fmt.Errorf("workload %s: %w", w.name, err)
 		}
 		rep.Workloads = append(rep.Workloads, wr)
-		fmt.Fprintf(os.Stderr, "%-20s actual=%d join_p50=%dµs gh_err=%.3f\n",
-			w.name, wr.ActualPairs, wr.JoinMicros.P50, wr.Methods["gh"].RelError)
+		fmt.Fprintf(os.Stderr, "%-20s actual=%d join_p50=%dµs gh_err=%.3f speedup=%.2fx\n",
+			w.name, wr.ActualPairs, wr.JoinMicros.P50, wr.Methods["gh"].RelError,
+			wr.JoinKernel.Speedup)
 	}
 
 	// Counter deltas attribute the whole run's engine work (node visits,
@@ -183,7 +209,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runWorkload(w workload, scale float64, level, iters int, fraction float64, seed int64) (WorkloadReport, error) {
+func runWorkload(w workload, scale float64, level, iters int, fraction float64, workers int, seed int64) (WorkloadReport, error) {
 	nl, nr := int(float64(w.nLeft)*scale), int(float64(w.nRight)*scale)
 	if nl < 10 || nr < 10 {
 		return WorkloadReport{}, fmt.Errorf("scale %g leaves too few items (%d, %d)", scale, nl, nr)
@@ -229,6 +255,12 @@ func runWorkload(w workload, scale float64, level, iters int, fraction float64, 
 	}
 	wr.JoinMicros = percentiles(joinTimes)
 
+	kernel, err := runJoinKernel(tl, tr, workers, iters)
+	if err != nil {
+		return WorkloadReport{}, err
+	}
+	wr.JoinKernel = kernel
+
 	for _, m := range methods {
 		mr, err := runMethod(m, tl, tr, level, iters, fraction, float64(wr.ActualPairs))
 		if err != nil {
@@ -237,6 +269,40 @@ func runWorkload(w workload, scale float64, level, iters int, fraction float64, 
 		wr.Methods[m] = mr
 	}
 	return wr, nil
+}
+
+// runJoinKernel times the serial and parallel R-tree join kernels on the same
+// index pair and verifies they agree on the exact pair count — the
+// correctness gate that makes the speedup number trustworthy.
+func runJoinKernel(a, b *sdb.Table, workers, iters int) (JoinKernelReport, error) {
+	serialTimes := make([]int64, 0, iters)
+	serialPairs := 0
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		serialPairs = rtree.JoinCount(a.Index, b.Index)
+		serialTimes = append(serialTimes, time.Since(start).Microseconds())
+	}
+	parTimes := make([]int64, 0, iters)
+	parPairs := 0
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		parPairs = rtree.JoinCountParallel(a.Index, b.Index, workers)
+		parTimes = append(parTimes, time.Since(start).Microseconds())
+	}
+	k := JoinKernelReport{
+		Workers:        workers,
+		SerialMicros:   percentiles(serialTimes),
+		ParallelMicros: percentiles(parTimes),
+		Pairs:          serialPairs,
+		CountsMatch:    serialPairs == parPairs,
+	}
+	if p := k.ParallelMicros.P50; p > 0 {
+		k.Speedup = float64(k.SerialMicros.P50) / float64(p)
+	}
+	if !k.CountsMatch {
+		return k, fmt.Errorf("parallel join counted %d pairs, serial %d", parPairs, serialPairs)
+	}
+	return k, nil
 }
 
 // runMethod times build+estimate end to end — for sampling estimators the

@@ -50,6 +50,7 @@ func parseFlags(args []string) (*options, error) {
 	cacheSize := fs.Int("cache", 256, "estimator cache capacity (entries)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
 	maxRows := fs.Int("max-rows", 10000, "max result rows per query response")
+	workers := fs.Int("workers", 0, "default executor parallelism (0 = auto from GOMAXPROCS, 1 = serial)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
 	load := fs.String("load", "", "directory of .sds dataset files to preload as tables")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
@@ -63,6 +64,7 @@ func parseFlags(args []string) (*options, error) {
 			CacheSize:      *cacheSize,
 			RequestTimeout: *timeout,
 			MaxResultRows:  *maxRows,
+			Workers:        *workers,
 			EnablePprof:    *enablePprof,
 			EnableExpvar:   *enableExpvar,
 		},
@@ -98,7 +100,7 @@ func run(args []string, logw *os.File) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger.Info("sdbd listening", "addr", opts.addr, "stats_level", srv.Store().Level(),
-		"pprof", opts.cfg.EnablePprof, "expvar", opts.cfg.EnableExpvar)
+		"workers", opts.cfg.Workers, "pprof", opts.cfg.EnablePprof, "expvar", opts.cfg.EnableExpvar)
 	err = srv.ListenAndServe(ctx, opts.addr, opts.grace)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil

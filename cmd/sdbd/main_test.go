@@ -34,6 +34,23 @@ func TestDebugEndpointsOptIn(t *testing.T) {
 	}
 }
 
+func TestWorkersFlag(t *testing.T) {
+	opts, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.Workers != 0 {
+		t.Fatalf("workers must default to 0 (auto), got %d", opts.cfg.Workers)
+	}
+	opts, err = parseFlags([]string{"-workers", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.Workers != 3 {
+		t.Fatalf("-workers 3 parsed as %d", opts.cfg.Workers)
+	}
+}
+
 func TestPreload(t *testing.T) {
 	dir := t.TempDir()
 	if err := dataset.SaveFile(filepath.Join(dir, "roads.sds"), datagen.Uniform("x", 200, 0.01, 1)); err != nil {

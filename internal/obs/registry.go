@@ -298,14 +298,28 @@ func (r *Registry) Snapshot() map[string]float64 {
 // RenderMerged renders several registries as one exposition, with all
 // families globally sorted by name. Families must not be split across
 // registries (same-name collisions render the first registry's family only).
+//
+// Each family's series map is copied into a sorted slice under the registry
+// lock — iterating the live map lock-free would race with get() inserting a
+// new series — then rendered without the lock, so sampled instruments
+// (CounterFunc/GaugeFunc) never run user closures while the registry is held.
 func RenderMerged(regs ...*Registry) string {
-	byName := make(map[string]*family)
+	type renderable struct {
+		f  *family
+		ss []*series
+	}
+	byName := make(map[string]renderable)
 	var names []string
 	for _, r := range regs {
 		r.mu.Lock()
 		for name, f := range r.families {
 			if _, dup := byName[name]; !dup {
-				byName[name] = f
+				ss := make([]*series, 0, len(f.series))
+				for _, s := range f.series {
+					ss = append(ss, s)
+				}
+				sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+				byName[name] = renderable{f: f, ss: ss}
 				names = append(names, name)
 			}
 		}
@@ -314,25 +328,20 @@ func RenderMerged(regs ...*Registry) string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, name := range names {
-		renderFamily(&b, byName[name])
+		e := byName[name]
+		renderFamily(&b, e.f, e.ss)
 	}
 	return b.String()
 }
 
-// renderFamily writes one family's HELP/TYPE header and all its series in
-// sorted label order. Callers hold no lock; series maps are only appended to
-// under the registry lock, and instrument reads are atomic, so the worst a
-// concurrent writer causes is a missing just-created series.
-func renderFamily(b *strings.Builder, f *family) {
+// renderFamily writes one family's HELP/TYPE header and the given series, in
+// the (label-sorted) order the snapshot in RenderMerged produced. The family's
+// identity fields are immutable after creation and instrument reads are
+// atomic, so no lock is needed here.
+func renderFamily(b *strings.Builder, f *family, ss []*series) {
 	fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
 	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind.promType())
-	keys := make([]string, 0, len(f.series))
-	for k := range f.series {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		s := f.series[k]
+	for _, s := range ss {
 		switch f.kind {
 		case kindCounter:
 			fmt.Fprintf(b, "%s%s %d\n", f.name, s.labels, s.counter.Value())

@@ -79,7 +79,6 @@ func JoinFunc(as, bs []geom.Rect, cfg Config, emit func(a, b int)) {
 		if len(pa) == 0 || len(pb) == 0 {
 			continue
 		}
-		cellRect := g.cellRect(cell)
 		ra := make([]geom.Rect, len(pa))
 		for i, id := range pa {
 			ra[i] = as[id]
@@ -91,27 +90,16 @@ func JoinFunc(as, bs []geom.Rect, cfg Config, emit func(a, b int)) {
 		sweep.JoinFunc(ra, rb, func(i, j int) {
 			inter, _ := ra[i].Intersection(rb[j])
 			// Reference point: the (MinX, MinY) corner of the intersection.
-			// Only the cell containing it reports the pair. Points on shared
-			// cell boundaries belong to the lower-indexed cell via the
-			// half-open cell test.
-			if cellRect.MinX <= inter.MinX && inter.MinX < cellRect.MaxX &&
-				cellRect.MinY <= inter.MinY && inter.MinY < cellRect.MaxY ||
-				onExtentEdge(g, cellRect, inter) {
+			// Only the cell whose clamped index range contains it reports the
+			// pair — the same arithmetic partition uses to replicate the
+			// rectangles, so exactly one replicated cell claims every pair
+			// even when the point lies outside a caller-supplied extent or
+			// exactly on its max edge.
+			if g.refCell(inter.MinX, inter.MinY) == cell {
 				emit(pa[i], pb[j])
 			}
 		})
 	}
-}
-
-// onExtentEdge handles reference points lying exactly on the extent's max
-// boundary, which no half-open cell would otherwise claim: the last cell in
-// that direction claims them.
-func onExtentEdge(g *grid, cellRect, inter geom.Rect) bool {
-	xOK := cellRect.MinX <= inter.MinX && inter.MinX < cellRect.MaxX ||
-		(inter.MinX == g.extent.MaxX && cellRect.MaxX == g.extent.MaxX)
-	yOK := cellRect.MinY <= inter.MinY && inter.MinY < cellRect.MaxY ||
-		(inter.MinY == g.extent.MaxY && cellRect.MaxY == g.extent.MaxY)
-	return xOK && yOK
 }
 
 type grid struct {
@@ -129,36 +117,45 @@ func newGrid(extent geom.Rect, dim int) *grid {
 	}
 }
 
-func (g *grid) cellRect(cell int) geom.Rect {
-	i, j := cell%g.dim, cell/g.dim
-	return geom.Rect{
-		MinX: g.extent.MinX + float64(i)*g.cw,
-		MinY: g.extent.MinY + float64(j)*g.ch,
-		MaxX: g.extent.MinX + float64(i+1)*g.cw,
-		MaxY: g.extent.MinY + float64(j+1)*g.ch,
+// clampIdx clamps a raw cell index into [0, dim): coordinates outside the
+// extent (or exactly on its max edge) land in the boundary cells, mirroring
+// how partition replicates out-of-extent rectangles.
+func (g *grid) clampIdx(v int) int {
+	if v < 0 {
+		return 0
 	}
+	if v >= g.dim {
+		return g.dim - 1
+	}
+	return v
 }
 
-// cellRange returns the half-open index ranges of cells r overlaps.
+// cellRange returns the inclusive index ranges of cells r overlaps.
 func (g *grid) cellRange(r geom.Rect) (i0, i1, j0, j1 int) {
-	clampIdx := func(v int) int {
-		if v < 0 {
-			return 0
-		}
-		if v >= g.dim {
-			return g.dim - 1
-		}
-		return v
-	}
 	if g.cw > 0 {
-		i0 = clampIdx(int((r.MinX - g.extent.MinX) / g.cw))
-		i1 = clampIdx(int((r.MaxX - g.extent.MinX) / g.cw))
+		i0 = g.clampIdx(int((r.MinX - g.extent.MinX) / g.cw))
+		i1 = g.clampIdx(int((r.MaxX - g.extent.MinX) / g.cw))
 	}
 	if g.ch > 0 {
-		j0 = clampIdx(int((r.MinY - g.extent.MinY) / g.ch))
-		j1 = clampIdx(int((r.MaxY - g.extent.MinY) / g.ch))
+		j0 = g.clampIdx(int((r.MinY - g.extent.MinY) / g.ch))
+		j1 = g.clampIdx(int((r.MaxY - g.extent.MinY) / g.ch))
 	}
 	return i0, i1, j0, j1
+}
+
+// refCell returns the id of the unique cell claiming the reference point
+// (x, y). Because it uses cellRange's clamped index arithmetic — not the
+// cells' floating-point rectangles — the claiming cell is always among the
+// cells a rectangle containing the point was replicated into.
+func (g *grid) refCell(x, y float64) int {
+	i, j := 0, 0
+	if g.cw > 0 {
+		i = g.clampIdx(int((x - g.extent.MinX) / g.cw))
+	}
+	if g.ch > 0 {
+		j = g.clampIdx(int((y - g.extent.MinY) / g.ch))
+	}
+	return j*g.dim + i
 }
 
 // partition replicates each rectangle into every cell it overlaps.

@@ -94,6 +94,45 @@ func TestJoinWithExplicitExtent(t *testing.T) {
 	}
 }
 
+func TestJoinExtentNotCoveringInputs(t *testing.T) {
+	// Regression: with a caller-supplied extent that does not cover the
+	// inputs, out-of-extent rectangles are clamped into boundary cells, but
+	// the old reference-point test rejected pairs whose reference corner lay
+	// outside the extent — silently dropping them. Geometry strictly beyond
+	// the extent on all four sides must still be joined exactly.
+	extent := geom.NewRect(0, 0, 1, 1)
+	mk := func(cx, cy float64) []geom.Rect {
+		// A 3×3 cluster of overlapping rectangles around (cx, cy).
+		var out []geom.Rect
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				x, y := cx+float64(dx)*0.05, cy+float64(dy)*0.05
+				out = append(out, geom.NewRect(x, y, x+0.1, y+0.1))
+			}
+		}
+		return out
+	}
+	var as, bs []geom.Rect
+	for _, c := range [][2]float64{
+		{-2, 0.5},  // left of the extent
+		{3, 0.5},   // right
+		{0.5, -2},  // below
+		{0.5, 3},   // above
+		{0.5, 0.5}, // inside, so cross-boundary pairs cannot exist but in-extent ones do
+		{-2, -2},   // outside on two sides at once
+	} {
+		as = append(as, mk(c[0], c[1])...)
+		bs = append(bs, mk(c[0]+0.02, c[1]+0.02)...)
+	}
+	for _, dim := range []int{1, 2, 4, 9} {
+		got := Join(as, bs, Config{GridDim: dim, Extent: extent})
+		if !pairsEqual(got, brute(as, bs)) {
+			t.Fatalf("dim=%d: non-covering extent dropped pairs: got %d, want %d",
+				dim, len(got), len(brute(as, bs)))
+		}
+	}
+}
+
 func TestJoinBoundaryRects(t *testing.T) {
 	// Rectangles exactly on the extent's max edges must still be claimed by
 	// some cell (the onExtentEdge rule).

@@ -1,58 +1,57 @@
 package rtree
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"spatialsel/internal/geom"
+	"spatialsel/internal/obs"
 )
 
-// JoinCountParallel computes the same pair count as JoinCount using a pool
-// of workers. The synchronized traversal's top levels are expanded serially
-// into independent node-pair tasks, which workers then drain; each task's
-// subtree pair is disjoint from every other's, so counts add up without
-// coordination. workers ≤ 0 selects GOMAXPROCS.
+// joinTask is one independent unit of parallel join work: a node pair whose
+// subtree join is disjoint from every other task's.
+type joinTask struct {
+	na, nb *node
+	clip   geom.Rect
+}
+
+// taskTargetPerWorker is how many tasks the serial expansion aims to produce
+// per worker. More tasks than workers smooths load imbalance between dense
+// and sparse regions at negligible expansion cost.
+const taskTargetPerWorker = 8
+
+// expandJoinTasks expands the synchronized traversal's top levels serially
+// into independent node-pair tasks, breadth-first, splitting every expandable
+// task one level on its larger side per round until there are at least target
+// tasks (or only leaf-leaf pairs remain). Task order is deterministic: it
+// depends only on the tree shapes, never on scheduling.
 //
-// Node-access accounting is *not* updated by the parallel join (the counters
-// are not synchronized); use JoinCount when accesses matter. Both trees may
-// be shared with concurrent readers but not writers.
-func JoinCountParallel(a, b *Tree, workers int) int {
-	if a.root == nil || b.root == nil {
-		return 0
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	clip, ok := a.root.mbr().Intersection(b.root.mbr())
-	if !ok {
-		return 0
-	}
-	type task struct {
-		na, nb *node
-		clip   geom.Rect
-	}
-	tasks := []task{{na: a.root, nb: b.root, clip: clip}}
-	// Expand breadth-first until there are enough tasks to balance the pool.
-	// Each round splits every expandable task one level on its larger side.
-	for len(tasks) < workers*8 {
-		next := make([]task, 0, len(tasks)*4)
+// visA and visB count the nodes whose entries the expansion examined, per
+// side, so the caller can fold expansion work into the join's accounting.
+func expandJoinTasks(a, b *node, clip geom.Rect, target int) (tasks []joinTask, visA, visB int) {
+	tasks = []joinTask{{na: a, nb: b, clip: clip}}
+	for len(tasks) < target {
+		next := make([]joinTask, 0, len(tasks)*4)
 		expanded := false
 		for _, tk := range tasks {
 			switch {
 			case !tk.na.leaf && (tk.nb.leaf || len(tk.na.entries) >= len(tk.nb.entries)):
+				visA++
 				for i := range tk.na.entries {
 					e := &tk.na.entries[i]
 					if c, ok := e.rect.Intersection(tk.clip); ok {
-						next = append(next, task{na: e.child, nb: tk.nb, clip: c})
+						next = append(next, joinTask{na: e.child, nb: tk.nb, clip: c})
 					}
 				}
 				expanded = true
 			case !tk.nb.leaf:
+				visB++
 				for i := range tk.nb.entries {
 					e := &tk.nb.entries[i]
 					if c, ok := e.rect.Intersection(tk.clip); ok {
-						next = append(next, task{na: tk.na, nb: e.child, clip: c})
+						next = append(next, joinTask{na: tk.na, nb: e.child, clip: c})
 					}
 				}
 				expanded = true
@@ -65,36 +64,144 @@ func JoinCountParallel(a, b *Tree, workers int) int {
 			break
 		}
 	}
+	return tasks, visA, visB
+}
 
-	var total int64
+// JoinFuncParallelContext computes the same pair set as JoinFuncContext using
+// a pool of workers. The traversal's top levels are expanded serially into
+// independent node-pair tasks; workers drain the task list, each running the
+// ordinary synchronized traversal on its task's subtrees and buffering the
+// emitted pairs per task. After the pool finishes, the buffers are replayed
+// into emit in task order, so for given trees and a given worker count the
+// emitted sequence is deterministic regardless of scheduling (the task list
+// granularity scales with the pool, so different worker counts may order
+// pairs differently while emitting the same set) — and emit itself is always
+// called from the caller's goroutine, never concurrently.
+//
+// workers ≤ 0 selects GOMAXPROCS; workers == 1 falls back to the serial
+// JoinFuncContext (identical behavior and emission order to a direct call).
+//
+// The context is polled inside every worker per batch of node visits, and
+// between tasks; when it is done the pool stops promptly, nothing is emitted,
+// and the context's error is returned. Node-access accounting on both trees
+// and the engine's join counters are updated once, at the end, with the sum
+// of all workers' work — unlike its predecessor, this join loses no
+// accounting. Both trees may be shared with concurrent readers but not
+// writers.
+func JoinFuncParallelContext(ctx context.Context, a, b *Tree, workers int, emit func(aID, bID int)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return JoinFuncContext(ctx, a, b, emit)
+	}
+	mJoins.Inc()
+	if a.root == nil || b.root == nil {
+		return nil
+	}
+	clip, ok := a.root.mbr().Intersection(b.root.mbr())
+	if !ok {
+		return nil
+	}
+	sp := obs.SpanFrom(ctx).Child("rtree.join_parallel")
+
+	tasks, expA, expB := expandJoinTasks(a.root, b.root, clip, workers*taskTargetPerWorker)
+
+	// Per-task result buffers, indexed by task. Workers claim tasks through
+	// an atomic cursor and write only their claimed slots, so the slice needs
+	// no lock; the deterministic merge below reads it after Wait.
+	results := make([][]JoinPair, len(tasks))
+	errs := make([]error, workers)
+	var cursor int64
+	// Whole-join totals, flushed once into the engine counters and the trees'
+	// access counters. Workers accumulate locally and add once at exit.
+	var visits, polls, compares, pairs int64
+	accA, accB := int64(expA), int64(expB)
+
 	var wg sync.WaitGroup
-	ch := make(chan task)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			// Shadow trees absorb the traversal's access counting without
-			// racing on the real counters.
+			// Shadow trees absorb the traversal's access counting; their
+			// totals fold into the real trees once the worker drains.
 			sa, sb := &Tree{}, &Tree{}
-			local := 0
-			for tk := range ch {
-				switch {
-				case tk.na.leaf && tk.nb.leaf:
-					sweepEntries(tk.na.entries, tk.nb.entries, tk.clip, nil, func(_, _ *entry) {
-						local++
-					})
-				default:
-					j := &joinRun{ta: sa, tb: sb, emit: func(_, _ int) { local++ }}
-					j.joinNodes(tk.na, tk.nb, tk.clip)
+			var lv, lp, lc, lpairs int
+			for {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					break
 				}
+				i := atomic.AddInt64(&cursor, 1) - 1
+				if i >= int64(len(tasks)) {
+					break
+				}
+				tk := tasks[i]
+				var buf []JoinPair
+				j := &joinRun{ta: sa, tb: sb, ctx: ctx}
+				j.emit = func(pa, pb int) {
+					j.pairs++
+					buf = append(buf, JoinPair{A: pa, B: pb})
+				}
+				j.joinNodes(tk.na, tk.nb, tk.clip)
+				lv += j.visits
+				lp += j.polls
+				lc += j.compares
+				lpairs += j.pairs
+				if j.err != nil {
+					errs[w] = j.err
+					break
+				}
+				results[i] = buf
 			}
-			atomic.AddInt64(&total, int64(local))
-		}()
+			atomic.AddInt64(&visits, int64(lv))
+			atomic.AddInt64(&polls, int64(lp))
+			atomic.AddInt64(&compares, int64(lc))
+			atomic.AddInt64(&pairs, int64(lpairs))
+			atomic.AddInt64(&accA, sa.Accesses())
+			atomic.AddInt64(&accB, sb.Accesses())
+		}(w)
 	}
-	for _, tk := range tasks {
-		ch <- tk
-	}
-	close(ch)
 	wg.Wait()
-	return int(total)
+
+	visits += int64(expA + expB)
+	mJoinNodeVisits.Add(uint64(visits))
+	mJoinLeafCompares.Add(uint64(compares))
+	mJoinOutputPairs.Add(uint64(pairs))
+	mJoinCancelPolls.Add(uint64(polls))
+	atomic.AddInt64(&a.accesses, accA)
+	atomic.AddInt64(&b.accesses, accB)
+	if sp != nil {
+		sp.Set("workers", float64(workers))
+		sp.Set("tasks", float64(len(tasks)))
+		sp.Set("node_visits", float64(visits))
+		sp.Set("leaf_compares", float64(compares))
+		sp.Set("output_pairs", float64(pairs))
+		sp.Set("cancel_polls", float64(polls))
+		sp.End()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Deterministic merge: replay each task's buffer in task order.
+	for _, buf := range results {
+		for _, p := range buf {
+			emit(p.A, p.B)
+		}
+	}
+	return nil
+}
+
+// JoinCountParallel computes the same pair count as JoinCount using a pool of
+// workers; it is a thin wrapper over JoinFuncParallelContext, so node-access
+// and engine-counter accounting are updated exactly like the streaming form.
+// workers ≤ 0 selects GOMAXPROCS. Both trees may be shared with concurrent
+// readers but not writers.
+func JoinCountParallel(a, b *Tree, workers int) int {
+	n := 0
+	// A background context cannot be cancelled, so the error is always nil.
+	_ = JoinFuncParallelContext(context.Background(), a, b, workers, func(int, int) { n++ })
+	return n
 }

@@ -12,6 +12,7 @@ package rtree
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"spatialsel/internal/geom"
 )
@@ -48,8 +49,9 @@ func (n *node) mbr() geom.Rect {
 
 // Tree is an R-tree. The zero value is not usable; construct with New or one
 // of the bulk loaders. Tree is not safe for concurrent mutation; concurrent
-// read-only use (Search, Join) is safe apart from the access counter, which
-// callers running concurrent reads should ignore.
+// read-only use (Search, Join) is safe, including the access counter, which
+// is maintained atomically so parallel joins and sharded index probes can
+// share a tree.
 type Tree struct {
 	root       *node
 	size       int
@@ -104,13 +106,13 @@ func (t *Tree) Height() int { return t.height }
 
 // Accesses returns the number of node touches since construction or the last
 // ResetAccesses. One touch approximates one page read.
-func (t *Tree) Accesses() int64 { return t.accesses }
+func (t *Tree) Accesses() int64 { return atomic.LoadInt64(&t.accesses) }
 
 // ResetAccesses zeroes the access counter.
-func (t *Tree) ResetAccesses() { t.accesses = 0 }
+func (t *Tree) ResetAccesses() { atomic.StoreInt64(&t.accesses, 0) }
 
 func (t *Tree) touch(n *node) *node {
-	t.accesses++
+	atomic.AddInt64(&t.accesses, 1)
 	return n
 }
 

@@ -3,6 +3,9 @@ package sdb
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"spatialsel/internal/geom"
 	"spatialsel/internal/obs"
@@ -69,6 +72,30 @@ func (p *Plan) Execute() (*Result, error) {
 // context polls in the extension steps.
 const cancelRowBatch = 256
 
+// Crossover sizes below which the auto (Workers == 0) executor stays serial:
+// goroutine + merge overhead beats the win on small inputs (measured with
+// cmd/benchrun's serial-vs-parallel comparison).
+const (
+	parallelJoinMinItems = 4096 // summed tree cardinalities, first join
+	parallelProbeMinRows = 2048 // intermediate rows, extension steps
+)
+
+// resolveWorkers maps the plan's Workers knob onto an effective pool size for
+// a work item of the given size. Explicit values are honored (1 = serial);
+// auto (≤ 0) selects GOMAXPROCS above the crossover and serial below it.
+func resolveWorkers(workers, size, crossover int) int {
+	if workers == 1 {
+		return 1
+	}
+	if workers > 1 {
+		return workers
+	}
+	if size < crossover {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // ExecuteContext is Execute with cancellation: the context is threaded into
 // the R-tree join (polled per node-visit batch) and polled per row batch
 // during the index-probe steps, so a cancelled or timed-out context aborts a
@@ -117,18 +144,26 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 	var rows [][]int
 	var ferr error
 	jctx, joinSp := obs.StartSpan(ctx, "join "+p.Base+" ⋈ "+first.Table)
-	jerr := rtree.JoinFuncContext(jctx, baseTab.Index, stepTab.Index, func(a, b int) {
+	// A filter error inside the emit callback must not let the traversal run
+	// to completion: cancelling the join context aborts it at the next poll,
+	// and ferr (checked before jerr) carries the real cause out.
+	jctx, jcancel := context.WithCancel(jctx)
+	defer jcancel()
+	joinWorkers := resolveWorkers(p.Workers, baseTab.Len()+stepTab.Len(), parallelJoinMinItems)
+	jerr := rtree.JoinFuncParallelContext(jctx, baseTab.Index, stepTab.Index, joinWorkers, func(a, b int) {
 		if ferr != nil {
 			return
 		}
 		okA, err := passes(p.Base, a)
 		if err != nil {
 			ferr = err
+			jcancel()
 			return
 		}
 		okB, err := passes(first.Table, b)
 		if err != nil {
 			ferr = err
+			jcancel()
 			return
 		}
 		if okA && okB {
@@ -143,14 +178,15 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 	annotateOperator(joinSp, first.EstRows, len(rows))
 	joinSp.End()
 	mExecRows.Add(uint64(len(rows)))
-	if jerr != nil {
-		return nil, jerr
-	}
 	if ferr != nil {
 		return nil, ferr
 	}
+	if jerr != nil {
+		return nil, jerr
+	}
 
-	// Extension steps: index probes per row.
+	// Extension steps: index probes per row, sharded across a worker pool
+	// when the intermediate result is large enough.
 	var probe []int
 	for _, s := range p.Steps[1:] {
 		tab, err := c.Table(s.Table)
@@ -158,27 +194,22 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		_, stepSp := obs.StartSpan(ctx, "probe "+s.Table)
-		probes := 0
 		col := colOf[s.Table]
-		var next [][]int
-		for ri, row := range rows {
-			if ri%cancelRowBatch == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			// Probe with the first predicate's connecting item; verify the
-			// rest per candidate.
+
+		// extendRow probes the step's index with one row's connecting item
+		// (the first predicate) and appends every verified extension to dst.
+		// probeBuf is the caller's reusable search buffer — each goroutine
+		// owns its own, so the shared index is only ever read.
+		extendRow := func(row []int, probeBuf []int, dst [][]int) ([]int, [][]int, error) {
 			drive, rest, err := splitPredicates(s, colOf, row, c, q)
 			if err != nil {
-				return nil, err
+				return probeBuf, dst, err
 			}
-			probes++
-			probe = tab.Index.Search(drive, probe[:0])
-			for _, cand := range probe {
+			probeBuf = tab.Index.Search(drive, probeBuf[:0])
+			for _, cand := range probeBuf {
 				ok, err := passes(s.Table, cand)
 				if err != nil {
-					return nil, err
+					return probeBuf, dst, err
 				}
 				if !ok {
 					continue
@@ -189,7 +220,29 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 				out := make([]int, len(row))
 				copy(out, row)
 				out[col] = cand
-				next = append(next, out)
+				dst = append(dst, out)
+			}
+			return probeBuf, dst, nil
+		}
+
+		var next [][]int
+		probes := 0
+		if w := resolveWorkers(p.Workers, len(rows), parallelProbeMinRows); w > 1 {
+			next, probes, err = probeRowsParallel(ctx, rows, w, extendRow)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			for ri, row := range rows {
+				if ri%cancelRowBatch == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				probes++
+				if probe, next, err = extendRow(row, probe, next); err != nil {
+					return nil, err
+				}
 			}
 		}
 		rows = next
@@ -200,6 +253,80 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 		mExecProbeRows.Add(uint64(probes))
 	}
 	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+// probeRowsParallel runs extendRow over every row using w workers. Rows are
+// split into contiguous chunks claimed through an atomic cursor; each worker
+// extends its chunk into a private buffer, and the chunk buffers are
+// concatenated in chunk order, so the output row order is deterministic —
+// identical across runs and worker counts, though not identical to the serial
+// order of a different pool size. The context is polled per row batch inside
+// every chunk; the first error (by chunk order) wins and aborts the pool.
+func probeRowsParallel(ctx context.Context, rows [][]int, w int,
+	extendRow func(row []int, probeBuf []int, dst [][]int) ([]int, [][]int, error)) ([][]int, int, error) {
+	type chunkResult struct {
+		rows   [][]int
+		probes int
+		err    error
+	}
+	chunk := (len(rows) + w*4 - 1) / (w * 4) // ~4 chunks per worker for balance
+	if chunk < cancelRowBatch {
+		chunk = cancelRowBatch
+	}
+	nChunks := (len(rows) + chunk - 1) / chunk
+	res := make([]chunkResult, nChunks)
+	var cursor int64
+	var failed int32 // any chunk erred: stop claiming new chunks
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var probeBuf []int
+			for {
+				if atomic.LoadInt32(&failed) != 0 {
+					return
+				}
+				ci := atomic.AddInt64(&cursor, 1) - 1
+				if ci >= int64(nChunks) {
+					return
+				}
+				lo := int(ci) * chunk
+				hi := lo + chunk
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				cr := chunkResult{}
+				for ri := lo; ri < hi; ri++ {
+					if (ri-lo)%cancelRowBatch == 0 {
+						if cr.err = ctx.Err(); cr.err != nil {
+							break
+						}
+					}
+					cr.probes++
+					if probeBuf, cr.rows, cr.err = extendRow(rows[ri], probeBuf, cr.rows); cr.err != nil {
+						break
+					}
+				}
+				res[ci] = cr
+				if cr.err != nil {
+					atomic.StoreInt32(&failed, 1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var out [][]int
+	probes := 0
+	for _, cr := range res {
+		if cr.err != nil {
+			return nil, 0, cr.err
+		}
+		probes += cr.probes
+		out = append(out, cr.rows...)
+	}
+	return out, probes, nil
 }
 
 // splitPredicates resolves a step's predicates against a row: the first

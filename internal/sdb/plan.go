@@ -43,6 +43,12 @@ type Plan struct {
 	Steps   []Step
 	EstCost float64 // Σ estimated intermediate cardinalities
 	catalog *Catalog
+
+	// Workers sets the executor's parallelism for the first R-tree join and
+	// the extension-step index probes: 0 (auto) uses GOMAXPROCS workers when
+	// the inputs are large enough to benefit and serial execution otherwise;
+	// 1 forces serial execution; values > 1 force that pool size.
+	Workers int
 }
 
 // Explain renders the plan with its estimates, optimizer-style.

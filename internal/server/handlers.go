@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"spatialsel/internal/core"
@@ -48,6 +50,17 @@ func decodeJSON(r *http.Request, v any) error {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// resolveWorkers maps a request's workers field onto the effective executor
+// parallelism: 0 defers to the server default (sdbd -workers, itself 0 = auto
+// by default), anything else is used as given. Negative values are rejected
+// before this point.
+func (s *Server) resolveWorkers(requested int) int {
+	if requested != 0 {
+		return requested
+	}
+	return s.workers
 }
 
 // statusForError maps engine errors onto HTTP codes: cancellation and
@@ -266,6 +279,12 @@ type EstimateRequest struct {
 	Tables     []string              `json:"tables,omitempty"`
 	Predicates [][2]string           `json:"predicates,omitempty"`
 	Windows    map[string][4]float64 `json:"windows,omitempty"`
+
+	// Workers parallelizes the summary builds behind build-based estimators
+	// (basicgh, ph, rs, rswr, ss): 0 uses the server default, 1 forces
+	// serial, ≥ 2 builds the two inputs' summaries concurrently. The gh
+	// method reads precomputed statistics and ignores it.
+	Workers int `json:"workers,omitempty"`
 }
 
 // EstimateResponse carries the estimate plus provenance (method, cache).
@@ -283,6 +302,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "workers must be ≥ 0, got %d", req.Workers)
 		return
 	}
 	start := time.Now()
@@ -327,7 +350,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if method == "" {
 		method = "gh"
 	}
-	est, cached, err := s.estimatePair(r.Context(), snap, req.Left, req.Right, method, req.Fraction)
+	est, cached, err := s.estimatePair(r.Context(), snap, req.Left, req.Right, method, req.Fraction, s.resolveWorkers(req.Workers))
 	if err != nil {
 		writeError(w, statusForError(err), "%v", err)
 		return
@@ -346,7 +369,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // cache key canonicalizes the table order — every supported estimator is
 // symmetric — and embeds the tables' generations, so a replaced table can
 // never serve a stale estimate.
-func (s *Server) estimatePair(ctx context.Context, snap *Snapshot, left, right, method string, fraction float64) (core.Estimate, bool, error) {
+func (s *Server) estimatePair(ctx context.Context, snap *Snapshot, left, right, method string, fraction float64, workers int) (core.Estimate, bool, error) {
 	ta, err := snap.Catalog.Table(left)
 	if err != nil {
 		return core.Estimate{}, false, err
@@ -377,7 +400,7 @@ func (s *Server) estimatePair(ctx context.Context, snap *Snapshot, left, right, 
 	if err := ctx.Err(); err != nil {
 		return core.Estimate{}, false, err
 	}
-	est, err := computeEstimate(a, b, method, fraction, s.store.Level())
+	est, err := computeEstimate(a, b, method, fraction, s.store.Level(), workers)
 	if err != nil {
 		return core.Estimate{}, false, err
 	}
@@ -385,7 +408,7 @@ func (s *Server) estimatePair(ctx context.Context, snap *Snapshot, left, right, 
 	return est, false, nil
 }
 
-func computeEstimate(a, b *sdb.Table, method string, fraction float64, level int) (core.Estimate, error) {
+func computeEstimate(a, b *sdb.Table, method string, fraction float64, level, workers int) (core.Estimate, error) {
 	switch method {
 	case "gh":
 		gh, err := histogram.NewGH(level)
@@ -398,13 +421,13 @@ func computeEstimate(a, b *sdb.Table, method string, fraction float64, level int
 		if err != nil {
 			return core.Estimate{}, err
 		}
-		return buildAndEstimate(t, a, b)
+		return buildAndEstimate(t, a, b, workers)
 	case "ph":
 		t, err := histogram.NewPH(level)
 		if err != nil {
 			return core.Estimate{}, err
 		}
-		return buildAndEstimate(t, a, b)
+		return buildAndEstimate(t, a, b, workers)
 	case "rs", "rswr", "ss":
 		m := map[string]sample.Method{"rs": sample.RS, "rswr": sample.RSWR, "ss": sample.SS}[method]
 		// Fixed seed keeps sampling estimates deterministic and therefore
@@ -413,21 +436,58 @@ func computeEstimate(a, b *sdb.Table, method string, fraction float64, level int
 		if err != nil {
 			return core.Estimate{}, err
 		}
-		return buildAndEstimate(t, a, b)
+		return buildAndEstimate(t, a, b, workers)
 	}
 	return core.Estimate{}, fmt.Errorf("unknown estimation method %q (want gh, basicgh, ph, rs, rswr, ss)", method)
 }
 
-func buildAndEstimate(t core.Technique, a, b *sdb.Table) (core.Estimate, error) {
-	sa, err := t.Build(a.Data)
-	if err != nil {
-		return core.Estimate{}, err
+// buildAndEstimate builds both inputs' summaries — concurrently when the
+// workers knob (0 = auto) allows two goroutines — then estimates. Every
+// technique's Build is a pure function of its inputs (sampling draws from a
+// per-call PRNG seeded deterministically), so the parallel build returns
+// exactly the serial result.
+func buildAndEstimate(t core.Technique, a, b *sdb.Table, workers int) (core.Estimate, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	sb, err := t.Build(b.Data)
+	sa, sb, err := buildSummaries(t, a, b, workers >= 2)
 	if err != nil {
 		return core.Estimate{}, err
 	}
 	return t.Estimate(sa, sb)
+}
+
+func buildSummaries(t core.Technique, a, b *sdb.Table, concurrent bool) (core.Summary, core.Summary, error) {
+	if !concurrent {
+		sa, err := t.Build(a.Data)
+		if err != nil {
+			return nil, nil, err
+		}
+		sb, err := t.Build(b.Data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sa, sb, nil
+	}
+	var (
+		wg     sync.WaitGroup
+		sa, sb core.Summary
+		ea, eb error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sa, ea = t.Build(a.Data)
+	}()
+	sb, eb = t.Build(b.Data)
+	wg.Wait()
+	if ea != nil {
+		return nil, nil, ea
+	}
+	if eb != nil {
+		return nil, nil, eb
+	}
+	return sa, sb, nil
 }
 
 // ---- explain ----------------------------------------------------------
@@ -492,6 +552,10 @@ type QueryRequest struct {
 	Windows    map[string][4]float64 `json:"windows,omitempty"`
 	Limit      int                   `json:"limit,omitempty"`
 	Offset     int                   `json:"offset,omitempty"`
+	// Workers sets this query's executor parallelism: 0 uses the server
+	// default (sdbd -workers), 1 forces serial execution, larger values force
+	// that pool size for the R-tree join and the extension-step probes.
+	Workers int `json:"workers,omitempty"`
 }
 
 // QueryResponse returns a page of result rows (item indices per column) plus
@@ -515,6 +579,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "workers must be ≥ 0, got %d", req.Workers)
 		return
 	}
 	start := time.Now()
@@ -541,6 +609,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	planSp.Set("est_cost", plan.EstCost)
 	planSp.End()
 
+	plan.Workers = s.resolveWorkers(req.Workers)
 	res, err := plan.ExecuteContext(ctx)
 	if err != nil {
 		writeError(w, statusForError(err), "%v", err)

@@ -25,6 +25,12 @@ type Config struct {
 	// MaxResultRows caps how many rows one query response may carry
 	// (default 10000); clients page through larger results with offset.
 	MaxResultRows int
+	// Workers is the default executor parallelism for requests that do not
+	// set their own: 0 (auto) lets the engine size its pools from GOMAXPROCS
+	// with serial fallbacks for small inputs; 1 forces serial execution;
+	// larger values force that pool size. Per-request `workers` fields
+	// override it.
+	Workers int
 	// Logger receives structured request logs (default: discard).
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
@@ -45,6 +51,7 @@ type Server struct {
 	logger         *slog.Logger
 	requestTimeout time.Duration
 	maxResultRows  int
+	workers        int
 	mux            *http.ServeMux
 	routes         []string
 	started        time.Time
@@ -66,6 +73,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxResultRows <= 0 {
 		cfg.MaxResultRows = 10000
 	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = discardLogger()
 	}
@@ -80,6 +90,7 @@ func New(cfg Config) (*Server, error) {
 		logger:         cfg.Logger,
 		requestTimeout: cfg.RequestTimeout,
 		maxResultRows:  cfg.MaxResultRows,
+		workers:        cfg.Workers,
 		mux:            http.NewServeMux(),
 		started:        time.Now(),
 	}
