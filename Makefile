@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all check build test race race-all vet cover bench microbench experiments examples clean
+.PHONY: all check build test race race-all vet lint cover bench microbench experiments examples clean
 
 all: check
 
-# Default verification path: compile everything, vet, run the full test
-# suite, then race-check the concurrent packages (the HTTP server and the
-# mini-DBMS it serves).
-check: build vet test race
+# Default verification path: compile everything, lint (go vet + sdbvet +
+# gofmt), run the full test suite, then race-check the concurrent packages
+# (the HTTP server and the mini-DBMS it serves).
+check: build lint test race
 
 build:
 	$(GO) build ./...
@@ -15,17 +15,28 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-check the packages with real concurrency: the HTTP service layer, the
-# catalog/executor underneath it, the parallel join kernels, and the shared
-# metric/span registry.
+# Race-check the packages with real concurrency — the HTTP service layer,
+# the catalog/executor underneath it, the parallel join kernels, the shared
+# metric/span registry — plus the read-mostly data structures they share
+# across goroutines (geometry, curves, datasets, samples).
 race:
-	$(GO) test -race ./internal/server/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/...
+	$(GO) test -race ./internal/server/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/... ./internal/geom/... ./internal/hilbert/... ./internal/dataset/... ./internal/sample/...
 
 race-all:
 	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/sdbvet ./...
+
+# Full lint gate: stock go vet, the project's own analyzer suite (sdbvet:
+# ctxpoll, atomicfield, maporder, metriclabel, floateq), and a gofmt check
+# that fails on any unformatted file. Deliberate violations are annotated in
+# source with //lint:ignore <analyzer> <reason>.
+lint: build
+	$(GO) vet ./...
+	$(GO) run ./cmd/sdbvet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then echo "gofmt: unformatted files:"; echo "$$fmtout"; exit 1; fi
 
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/... ./cmd/...

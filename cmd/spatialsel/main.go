@@ -404,6 +404,7 @@ func cmdSampleEstimate(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("sample-estimate: unknown method %q", *method)
 	}
+	//lint:ignore floateq an untouched flag is exactly its 0 default; exact sentinel intended
 	if *fracB == 0 {
 		*fracB = *frac
 	}

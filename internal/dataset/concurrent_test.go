@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+// TestConcurrentReaders hammers a shared Dataset with concurrent read-only
+// method calls. Dataset is documented as safe for concurrent reads (writers
+// must Clone); this test gives `make race` something to bite on if a method
+// ever grows hidden mutation — memoized stats, lazily computed MBRs, or
+// in-place normalization.
+func TestConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := make([]geom.Rect, 512)
+	for i := range items {
+		x, y := 0.98*rng.Float64(), 0.98*rng.Float64()
+		items[i] = geom.NewRect(x, y, x+0.01*rng.Float64(), y+0.01*rng.Float64())
+	}
+	d := New("hammer", geom.UnitSquare, items)
+
+	wantStats := d.ComputeStats()
+	wantMBR, ok := d.MBR()
+	if !ok {
+		t.Fatal("MBR on a non-empty dataset reported empty")
+	}
+
+	const goroutines = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					if s := d.ComputeStats(); s.N != wantStats.N {
+						errs <- "ComputeStats count drifted under concurrent reads"
+						return
+					}
+				case 1:
+					if m, ok := d.MBR(); !ok || !m.Equal(wantMBR) {
+						errs <- "MBR drifted under concurrent reads"
+						return
+					}
+				case 2:
+					if err := d.Validate(); err != nil {
+						errs <- "Validate failed under concurrent reads: " + err.Error()
+						return
+					}
+				case 3:
+					// Normalize must return a fresh dataset, not mutate d.
+					n := d.Normalize()
+					if n == d {
+						errs <- "Normalize returned the receiver"
+						return
+					}
+					if err := n.Validate(); err != nil {
+						errs <- "normalized copy invalid: " + err.Error()
+						return
+					}
+				case 4:
+					c := d.Clone()
+					if c.Len() != d.Len() {
+						errs <- "Clone length mismatch"
+						return
+					}
+					// Mutating the clone must not be visible to other readers.
+					c.Items[0] = geom.NewRect(-1, -1, 2, 2)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+	if s := d.ComputeStats(); s.N != wantStats.N {
+		t.Errorf("dataset mutated by readers: count %d, want %d", s.N, wantStats.N)
+	}
+}

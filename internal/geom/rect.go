@@ -193,7 +193,7 @@ func (r Rect) Translate(dx, dy float64) Rect {
 }
 
 // Equal reports whether r and s have identical coordinates.
-func (r Rect) Equal(s Rect) bool { return r == s }
+func (r Rect) Equal(s Rect) bool { return r == s } //lint:ignore floateq bit-exact identity is this method's documented contract
 
 // String implements fmt.Stringer.
 func (r Rect) String() string {

@@ -233,7 +233,7 @@ func (s *MinSkewSummary) EstimateRange(q geom.Rect) float64 {
 	}
 	var total float64
 	for _, b := range s.Buckets {
-		if b.Count == 0 {
+		if b.Count <= 0 {
 			continue
 		}
 		// The item's center must fall within q expanded by half the item

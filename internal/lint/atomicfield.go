@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField returns the atomicfield analyzer.
+//
+// Invariant: a struct field that is accessed through sync/atomic anywhere in
+// a package must be accessed through sync/atomic everywhere in the package.
+// Mixing the two is a data race even when the plain access "only reads": the
+// race detector caught exactly this on Tree.accesses once the HTTP server
+// started sharing trees across request goroutines (fixed by hand in PR 3).
+//
+// Mechanics: the first walk collects every field whose address is taken as
+// the pointer argument of a sync/atomic call (atomic.AddInt64(&t.accesses,
+// ...)); the second flags every other selector mentioning those fields. The
+// type declaration itself, and accesses inside composite literals (keyed
+// struct initialization before the value escapes), are not selectors and are
+// naturally exempt.
+func AtomicField() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicfield",
+		Doc:  "fields accessed via sync/atomic must never be accessed plainly",
+	}
+	a.Run = func(pass *Pass) {
+		atomicFields := map[types.Object]bool{}
+		sanctioned := map[*ast.SelectorExpr]bool{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isSyncAtomicCall(pass, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if obj := fieldObject(pass, sel); obj != nil {
+						atomicFields[obj] = true
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+		if len(atomicFields) == 0 {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				obj := fieldObject(pass, sel)
+				if obj != nil && atomicFields[obj] {
+					pass.Reportf(sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere; this plain access races with it",
+						fieldName(pass, sel, obj))
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isSyncAtomicCall reports whether the call's callee lives in sync/atomic
+// (the package-level functions; the atomic.Int64-style types encapsulate
+// their word and need no checking).
+func isSyncAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObject resolves a selector to a struct field object, or nil when the
+// selector is something else (package member, method, interface member).
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// fieldName renders Type.field for diagnostics, falling back to the bare
+// field name when the receiver type has no name.
+func fieldName(pass *Pass, sel *ast.SelectorExpr, obj types.Object) string {
+	t := pass.Info.Types[sel.X].Type
+	if t != nil {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + obj.Name()
+		}
+	}
+	return obj.Name()
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll returns the ctxpoll analyzer.
+//
+// Invariant: an exported function that accepts a context.Context and runs a
+// potentially long loop must poll cancellation inside that loop — either
+// directly (ctx.Err()/ctx.Done()) or by handing ctx to a callee that does.
+// PR 4 closed exactly this gap by hand in the parallel R-tree join: the old
+// implementation accepted a context and then traversed millions of node
+// pairs without ever looking at it, so a timed-out HTTP request kept burning
+// a core until the join finished.
+//
+// Heuristic: a loop is "potentially long" when its subtree contains a
+// function or method call, or another loop; a loop counts as polling when
+// its subtree references the context parameter at all (a direct poll, or
+// passing ctx onward — the callee is then responsible, and is itself subject
+// to this analyzer if it is exported). Loops inside function literals are
+// skipped: closures run on their creator's schedule (worker bodies, emit
+// callbacks) and the loop driving them is the one that must poll.
+func CtxPoll() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxpoll",
+		Doc:  "exported context-taking functions must poll ctx in long loops",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				ctxObj := contextParam(pass, fd)
+				if ctxObj == nil {
+					continue
+				}
+				checkLoops(pass, fd.Name.Name, fd.Body, ctxObj)
+			}
+		}
+	}
+	return a
+}
+
+// contextParam returns the object of the function's context.Context
+// parameter, or nil if there is none (or it is blank).
+func contextParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.Info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// checkLoops flags the outermost potentially-long loops in body that never
+// reference ctxObj. Nested loops are covered by their outermost ancestor:
+// one poll anywhere in the loop nest satisfies the invariant, and one
+// diagnostic per nest keeps output actionable.
+func checkLoops(pass *Pass, funcName string, body ast.Node, ctxObj types.Object) {
+	funcScopeWalk(body, false, func(n ast.Node) bool {
+		var loopBody ast.Node
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			loopBody = l
+		case *ast.RangeStmt:
+			loopBody = l
+		default:
+			return true
+		}
+		if usesObject(pass.Package, loopBody, ctxObj) {
+			// The loop nest polls or forwards ctx somewhere; that satisfies
+			// the per-batch polling idiom the engine uses, so don't descend
+			// into inner loops looking for more.
+			return false
+		}
+		if isLongLoop(pass, loopBody) {
+			pass.Reportf(loopBody.Pos(),
+				"%s takes a context.Context but this loop neither polls ctx.Err()/ctx.Done() nor passes ctx to a callee",
+				funcName)
+		}
+		return false // diagnosed (or trivially short): one report per loop nest
+	})
+}
+
+// isLongLoop reports whether the loop can plausibly run long: it contains a
+// non-builtin call or a nested loop. Bounded bookkeeping loops (joining a
+// handful of worker errors, zeroing a row) stay exempt.
+func isLongLoop(pass *Pass, loop ast.Node) bool {
+	long := false
+	funcScopeWalk(loop, false, func(n ast.Node) bool {
+		if long {
+			return false
+		}
+		switch c := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != loop {
+				long = true
+			}
+		case *ast.CallExpr:
+			if isRealCall(pass, c) {
+				long = true
+			}
+		}
+		return !long
+	})
+	return long
+}
+
+// isRealCall reports whether the call is a genuine function or method call —
+// not a type conversion and not a builtin like len or append.
+func isRealCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch pass.Info.Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return false
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.Info.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.TypeName); ok {
+				return false
+			}
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"bytes"
+	"flag"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current analyzer output")
+
+// corpusLoader builds one loader rooted at the module, shared by the corpus
+// tests so stdlib type-checking happens once.
+func corpusLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// TestCorpusGolden runs the full suite over each seeded-violation package and
+// compares the exact file:line:col: analyzer: message output against the
+// checked-in golden file. Run with -update to regenerate the goldens.
+func TestCorpusGolden(t *testing.T) {
+	cases := []struct {
+		pkg        string
+		diags      int // surviving diagnostics
+		suppressed int // honored //lint:ignore directives
+	}{
+		{"ctxpoll", 2, 1},
+		{"atomicfield", 2, 1},
+		{"maporder", 5, 1},
+		{"metriclabel", 6, 1},
+		{"floateq", 5, 1},
+		{"clean", 0, 0},
+	}
+	loader := corpusLoader(t)
+	for _, tc := range cases {
+		t.Run(tc.pkg, func(t *testing.T) {
+			pkg, err := loader.LoadDir(filepath.Join("testdata", "src", tc.pkg))
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			res := Run([]*Package{pkg}, Analyzers())
+			res.Relativize(loader.Root)
+			var buf bytes.Buffer
+			res.Write(&buf)
+
+			golden := filepath.Join("testdata", "golden", tc.pkg+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden: %v", err)
+			}
+			if got := buf.Bytes(); !bytes.Equal(got, want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want (%s) ---\n%s", got, golden, want)
+			}
+			if len(res.Diagnostics) != tc.diags {
+				t.Errorf("got %d diagnostics, want %d", len(res.Diagnostics), tc.diags)
+			}
+			if res.Suppressed != tc.suppressed {
+				t.Errorf("got %d suppressed, want %d", res.Suppressed, tc.suppressed)
+			}
+		})
+	}
+}
+
+// TestPerAnalyzerSelection checks that running a single analyzer over a
+// corpus package seeded for a different one reports nothing, i.e. analyzers
+// do not bleed into each other's domains.
+func TestPerAnalyzerSelection(t *testing.T) {
+	loader := corpusLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "floateq"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	for _, a := range Analyzers() {
+		if a.Name == "floateq" {
+			continue
+		}
+		res := Run([]*Package{pkg}, []*Analyzer{a})
+		if len(res.Diagnostics) != 0 {
+			t.Errorf("analyzer %s reported %d diagnostics on the floateq corpus: %v",
+				a.Name, len(res.Diagnostics), res.Diagnostics)
+		}
+	}
+}
+
+// TestRepoClean is the meta-test: the analyzer suite must pass over the real
+// repository (testdata is excluded by Expand, deliberate sentinels carry
+// //lint:ignore directives).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	loader := corpusLoader(t)
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	pkgs, err := loader.LoadDirs(dirs)
+	if err != nil {
+		t.Fatalf("LoadDirs: %v", err)
+	}
+	res := Run(pkgs, Analyzers())
+	res.Relativize(loader.Root)
+	if len(res.Diagnostics) != 0 {
+		var buf bytes.Buffer
+		res.Write(&buf)
+		t.Errorf("repository is not sdbvet-clean:\n%s", buf.String())
+	}
+	if res.Packages == 0 || res.Files == 0 {
+		t.Errorf("suspiciously empty run: %s", res.Summary())
+	}
+}
+
+// TestMalformedIgnore verifies that a directive with no reason is itself a
+// diagnostic, keeping suppressions auditable.
+func TestMalformedIgnore(t *testing.T) {
+	const src = `package p
+
+//lint:ignore floateq
+var x = 1.0
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	ds := parseIgnores(fset, f, &diags)
+	if len(ds) != 0 {
+		t.Errorf("malformed directive parsed as valid: %+v", ds)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "ignore" {
+		t.Fatalf("want one 'ignore' diagnostic, got %+v", diags)
+	}
+	if diags[0].Pos.Line != 3 {
+		t.Errorf("diagnostic at line %d, want 3", diags[0].Pos.Line)
+	}
+}
+
+// TestIgnorePlacement verifies directives bind to their own line and to the
+// line directly below — and nowhere else.
+func TestIgnorePlacement(t *testing.T) {
+	d := Diagnostic{Pos: token.Position{Filename: "f.go", Line: 10}, Analyzer: "floateq"}
+	cases := []struct {
+		line int
+		want bool
+	}{
+		{10, true},  // trailing comment on the flagged line
+		{9, true},   // comment directly above
+		{8, false},  // too far above
+		{11, false}, // below the flagged line
+	}
+	for _, tc := range cases {
+		ig := &ignoreDirective{analyzers: map[string]bool{"floateq": true}, line: tc.line}
+		if got := suppressed([]*ignoreDirective{ig}, d); got != tc.want {
+			t.Errorf("directive on line %d: suppressed=%v, want %v", tc.line, got, tc.want)
+		}
+	}
+	// Wrong analyzer name never suppresses, "*" always does.
+	ig := &ignoreDirective{analyzers: map[string]bool{"maporder": true}, line: 10}
+	if suppressed([]*ignoreDirective{ig}, d) {
+		t.Error("directive for a different analyzer suppressed the diagnostic")
+	}
+	star := &ignoreDirective{analyzers: map[string]bool{"*": true}, line: 10}
+	if !suppressed([]*ignoreDirective{star}, d) {
+		t.Error("wildcard directive did not suppress")
+	}
+}
+
+func TestIsSnakeCase(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"sdb_requests_total", true},
+		{"gh_cells", true},
+		{"a1_b2", true},
+		{"", false},
+		{"Sdb_total", false},
+		{"sdbRequests", false},
+		{"sdb__depth", false},
+		{"sdb_depth_", false},
+		{"_sdb_depth", false},
+		{"1sdb", false},
+		{"sdb-depth", false},
+	}
+	for _, tc := range cases {
+		if got := isSnakeCase(tc.name); got != tc.want {
+			t.Errorf("isSnakeCase(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestExpandSkipsTestdata guards the property the corpus depends on: a ./...
+// pattern never descends into testdata, so seeded violations cannot fail the
+// repository run.
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader := corpusLoader(t)
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	for _, d := range dirs {
+		if filepath.Base(filepath.Dir(d)) == "testdata" || filepath.Base(d) == "testdata" {
+			t.Errorf("Expand(./...) included testdata directory %s", d)
+		}
+		rel, err := filepath.Rel(loader.Root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range filepath.SplitList(rel) {
+			if seg == "testdata" {
+				t.Errorf("Expand(./...) included %s", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder returns the maporder analyzer.
+//
+// Invariant: map iteration order must never leak into output the engine
+// promises is deterministic — the Prometheus exposition, join pair emission,
+// benchmark JSON. Go randomizes range-over-map order per iteration, so a
+// loop that emits while ranging a map produces different output on every
+// run; the deterministic /metrics render and the partition join's emission
+// order both depend on nobody ever doing this.
+//
+// A range over a map is flagged when its body (including function literals
+// called inside it, e.g. an emit callback handed to a nested join)
+//
+//   - appends to a slice that is not passed to a sort.* call after the loop
+//     in the same function (collect-then-sort is the sanctioned idiom and
+//     stays clean),
+//   - writes through an io.Writer-style API (fmt.Fprint*, Write*,
+//     strings.Builder methods),
+//   - sends on a channel, or
+//   - calls a function-typed variable or parameter (an emit/visit callback:
+//     the order of those calls is the output).
+//
+// Each emission site is attributed to its innermost enclosing map range.
+func MapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "map iteration must not produce order-dependent output unless sorted",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := &mapOrderWalk{pass: pass, fn: fd.Body}
+				w.walk(fd.Body)
+			}
+		}
+	}
+	return a
+}
+
+// mapOrderWalk tracks the stack of enclosing range-over-map statements while
+// visiting one function body.
+type mapOrderWalk struct {
+	pass  *Pass
+	fn    *ast.BlockStmt
+	stack []*ast.RangeStmt // enclosing map ranges, outermost first
+}
+
+func (w *mapOrderWalk) walk(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch s := c.(type) {
+		case *ast.RangeStmt:
+			if w.isMapRange(s) {
+				// The range expression is evaluated once, outside the loop.
+				w.walk(s.X)
+				w.stack = append(w.stack, s)
+				w.walk(s.Body)
+				w.stack = w.stack[:len(w.stack)-1]
+				return false
+			}
+		case *ast.SendStmt:
+			if len(w.stack) > 0 {
+				w.pass.Reportf(s.Pos(), "channel send inside range over map: receiver observes random map order")
+			}
+		case *ast.AssignStmt:
+			if len(w.stack) > 0 {
+				w.checkAppend(s)
+			}
+		case *ast.CallExpr:
+			if len(w.stack) == 0 {
+				return true
+			}
+			if name, ok := writerCall(w.pass, s); ok {
+				w.pass.Reportf(s.Pos(), "%s inside range over map: output order is random", name)
+			} else if name, ok := callbackCall(w.pass, s); ok {
+				w.pass.Reportf(s.Pos(), "callback %s invoked inside range over map: emission order is random", name)
+			}
+		}
+		return true
+	})
+}
+
+// isMapRange reports whether the range statement iterates a map.
+func (w *mapOrderWalk) isMapRange(rs *ast.RangeStmt) bool {
+	tv, ok := w.pass.Info.Types[rs.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkAppend flags `x = append(x, ...)` under a map range unless x is
+// sorted after the innermost enclosing map range.
+func (w *mapOrderWalk) checkAppend(s *ast.AssignStmt) {
+	inner := w.stack[len(w.stack)-1]
+	for i, rhs := range s.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(w.pass, call) || i >= len(s.Lhs) {
+			continue
+		}
+		target, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pass.Info.Uses[target]
+		if obj == nil {
+			obj = w.pass.Info.Defs[target]
+		}
+		if obj == nil || sortedAfter(w.pass, w.fn, inner, obj) {
+			continue
+		}
+		w.pass.Reportf(call.Pos(),
+			"append to %s inside range over map without sorting it afterwards: slice order is random",
+			target.Name)
+	}
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether obj is mentioned in a sort.* call that appears
+// after the given range statement (in source order) within the same function
+// — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fnObj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fnObj.Pkg() == nil || fnObj.Pkg().Path() != "sort" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass.Package, arg, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// writerCall reports calls that write output: fmt.Fprint*/fmt.Print*, or any
+// Write*/WriteString-style method (io.Writer, strings.Builder, bufio.Writer).
+func writerCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" &&
+		(name == "Fprint" || name == "Fprintf" || name == "Fprintln" ||
+			name == "Print" || name == "Printf" || name == "Println") {
+		return "fmt." + name, true
+	}
+	// Method named Write / WriteString / WriteByte / WriteRune on anything.
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// callbackCall reports a call whose callee is a function-typed variable or
+// parameter (an emit/visit hook) rather than a declared function or method.
+func callbackCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return "", false
+	}
+	if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+		return "", false
+	}
+	return v.Name(), true
+}

@@ -1,0 +1,57 @@
+// Package atomicfield is lint-test corpus: seeded violations and clean cases
+// for the atomicfield analyzer.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Stats mixes a field accessed atomically with plain fields.
+type Stats struct {
+	hits  int64
+	total int64
+}
+
+// Record is the sanctioned atomic writer for hits.
+func (s *Stats) Record() {
+	atomic.AddInt64(&s.hits, 1)
+	s.total++ // plain field, never touched atomically: fine
+}
+
+// Hits reads hits without atomic.LoadInt64. (violation)
+func (s *Stats) Hits() int64 {
+	return s.hits // want atomicfield
+}
+
+// Reset writes hits with a plain assignment. (violation)
+func (s *Stats) Reset() {
+	s.hits = 0 // want atomicfield
+	s.total = 0
+}
+
+// HitsAtomic reads hits through the atomic API. (clean)
+func (s *Stats) HitsAtomic() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// Guarded keeps its counter under a mutex, never touching sync/atomic, so the
+// analyzer has nothing to say about it. (clean)
+type Guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Bump increments under the lock. (clean)
+func (g *Guarded) Bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// SuppressedRead documents a read that is safe by construction. (clean:
+// suppressed)
+func (s *Stats) SuppressedRead() int64 {
+	//lint:ignore atomicfield corpus: called only after all writers have joined
+	return s.hits
+}

@@ -1,0 +1,99 @@
+// Package ctxpoll is lint-test corpus: seeded violations and clean cases for
+// the ctxpoll analyzer.
+package ctxpoll
+
+import "context"
+
+// Item stands in for a tree node / row.
+type Item struct{ ID int }
+
+func process(it Item) int { return it.ID }
+
+// ScanAll loops over items without ever looking at ctx. (violation)
+func ScanAll(ctx context.Context, items []Item) int {
+	total := 0
+	for _, it := range items { // want ctxpoll
+		total += process(it)
+	}
+	return total
+}
+
+// DrainStack runs a worklist loop with calls and no poll. (violation)
+func DrainStack(ctx context.Context, items []Item) int {
+	stack := items
+	total := 0
+	for len(stack) > 0 { // want ctxpoll
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		total += process(it)
+	}
+	return total
+}
+
+// ScanPolling polls ctx.Err directly in the loop. (clean)
+func ScanPolling(ctx context.Context, items []Item) (int, error) {
+	total := 0
+	for i, it := range items {
+		if i%32 == 0 {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+		}
+		total += process(it)
+	}
+	return total, nil
+}
+
+// ScanForwarding hands ctx to a callee each iteration. (clean)
+func ScanForwarding(ctx context.Context, items []Item) int {
+	total := 0
+	for _, it := range items {
+		total += processCtx(ctx, it)
+	}
+	return total
+}
+
+func processCtx(_ context.Context, it Item) int { return it.ID }
+
+// ShortLoop has no calls or nested loops: bounded bookkeeping is exempt.
+// (clean)
+func ShortLoop(ctx context.Context, errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// InsideClosure keeps its loop inside a function literal, which runs on the
+// worker's schedule; the literal is exempt, the driving loop is not here.
+// (clean)
+func InsideClosure(ctx context.Context, items []Item) func() int {
+	return func() int {
+		total := 0
+		for _, it := range items {
+			total += process(it)
+		}
+		return total
+	}
+}
+
+// unexportedScan is not part of the API surface. (clean: unexported)
+func unexportedScan(ctx context.Context, items []Item) int {
+	total := 0
+	for _, it := range items {
+		total += process(it)
+	}
+	return total
+}
+
+// Suppressed documents its deliberate unpolled loop. (clean: suppressed)
+func Suppressed(ctx context.Context, items []Item) int {
+	total := 0
+	//lint:ignore ctxpoll corpus: the loop is bounded by construction
+	for _, it := range items {
+		total += process(it)
+	}
+	return total
+}

@@ -1,0 +1,63 @@
+// Package floateq is lint-test corpus: seeded violations and clean cases for
+// the floateq analyzer.
+package floateq
+
+import "math"
+
+// Box mirrors geom.Rect: a comparable struct made entirely of floats.
+type Box struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Tagged mixes floats with other fields; it still contains floats.
+type Tagged struct {
+	ID   int
+	Area float64
+}
+
+// SameSelectivity compares two float64 values with ==. (violation)
+func SameSelectivity(a, b float64) bool {
+	return a == b // want floateq
+}
+
+// Changed compares two float32 values with !=. (violation)
+func Changed(a, b float32) bool {
+	return a != b // want floateq
+}
+
+// SameBox compares float-struct values with ==. (violation)
+func SameBox(a, b Box) bool {
+	return a == b // want floateq
+}
+
+// SameTagged compares a struct with a float field. (violation)
+func SameTagged(a, b Tagged) bool {
+	return a == b // want floateq
+}
+
+// SameCorners compares float arrays. (violation)
+func SameCorners(a, b [4]float64) bool {
+	return a == b // want floateq
+}
+
+// Close compares within a tolerance. (clean)
+func Close(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// SameID compares the integer fields only. (clean)
+func SameID(a, b Tagged) bool {
+	return a.ID == b.ID
+}
+
+// Ordered uses inequalities, which floateq does not police. (clean)
+func Ordered(a, b float64) bool {
+	return a < b || a > b
+}
+
+// SuppressedSentinel documents an intended exact comparison. (clean:
+// suppressed)
+func SuppressedSentinel(v float64) bool {
+	//lint:ignore floateq corpus: exact zero is the documented sentinel
+	return v == 0
+}

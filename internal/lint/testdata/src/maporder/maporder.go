@@ -1,0 +1,84 @@
+// Package maporder is lint-test corpus: seeded violations and clean cases for
+// the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PrintAll writes key/value lines in map iteration order. (violation)
+func PrintAll(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want maporder
+	}
+}
+
+// BuildUnsorted appends map keys and never sorts them. (violation)
+func BuildUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+// SendAll streams map values over a channel in iteration order. (violation)
+func SendAll(ch chan<- int, m map[string]int) {
+	for _, v := range m {
+		ch <- v // want maporder
+	}
+}
+
+// EmitAll invokes a caller-supplied callback per entry. (violation)
+func EmitAll(m map[string]int, emit func(string, int)) {
+	for k, v := range m {
+		emit(k, v) // want maporder
+	}
+}
+
+// WriteBuilder appends map keys to a strings.Builder. (violation)
+func WriteBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want maporder
+	}
+	return b.String()
+}
+
+// BuildSorted collects then sorts before anything observes the order. (clean)
+func BuildSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumAll folds into an order-insensitive accumulator. (clean)
+func SumAll(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CopyAll writes into another map, which has no observable order. (clean)
+func CopyAll(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// SuppressedPrint documents deliberately unordered debug output. (clean:
+// suppressed)
+func SuppressedPrint(w io.Writer, m map[string]int) {
+	for k := range m {
+		//lint:ignore maporder corpus: debug dump, order is irrelevant
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,50 @@
+// Package metriclabel is lint-test corpus: seeded violations and clean cases
+// for the metriclabel analyzer.
+package metriclabel
+
+import "spatialsel/internal/obs"
+
+// RegisterBad seeds one violation of each naming rule.
+func RegisterBad(r *obs.Registry) {
+	r.Counter("sdbRequests_total", "camel-case segment") // want metriclabel: snake_case
+	r.Counter("requests_total", "unknown namespace")     // want metriclabel: namespace
+	r.Counter("sdb_requests", "counter missing _total")  // want metriclabel: _total
+	r.Gauge("sdb__depth", "empty segment")               // want metriclabel: snake_case
+}
+
+// RegisterDynamic builds the metric name at run time, defeating static
+// vetting of the registry. (violation)
+func RegisterDynamic(r *obs.Registry, suffix string) {
+	r.Gauge("sdb_"+suffix, "dynamic name") // want metriclabel: literal
+}
+
+// LookupInLoop re-resolves a counter on every iteration. (violation)
+func LookupInLoop(r *obs.Registry, items []int) {
+	for range items {
+		r.Counter("sdb_items_total", "items processed").Inc() // want metriclabel: hoist
+	}
+}
+
+// RegisterGood exercises every constructor with conforming names. (clean)
+func RegisterGood(r *obs.Registry) {
+	r.Counter("sdb_requests_total", "requests served")
+	r.FloatCounter("rtree_overlap_area_total", "summed overlap area")
+	r.Gauge("sdbd_sessions", "open sessions")
+	r.Histogram("histogram_build_seconds", "estimator build time", nil)
+	r.CounterFunc("sample_refreshes_total", "sample refreshes", func() float64 { return 0 })
+	r.GaugeFunc("gh_cells", "grid histogram cells", func() float64 { return 0 })
+}
+
+// HoistedLoop resolves once, then updates in the loop. (clean)
+func HoistedLoop(r *obs.Registry, items []int) {
+	c := r.Counter("ph_points_total", "points partitioned")
+	for range items {
+		c.Inc()
+	}
+}
+
+// SuppressedName documents a grandfathered metric name. (clean: suppressed)
+func SuppressedName(r *obs.Registry) {
+	//lint:ignore metriclabel corpus: grandfathered name kept for dashboard compatibility
+	r.Gauge("legacy_depth", "pre-convention metric")
+}

@@ -14,6 +14,7 @@ package partjoin
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"spatialsel/internal/geom"
 	"spatialsel/internal/sweep"
@@ -48,12 +49,15 @@ func Count(as, bs []geom.Rect, cfg Config) int {
 	return n
 }
 
-// JoinFunc streams each intersecting pair to emit exactly once.
+// JoinFunc streams each intersecting pair to emit exactly once, in a
+// deterministic order (ascending claiming-cell id, plane-sweep order within
+// a cell) — map iteration never reaches the output.
 func JoinFunc(as, bs []geom.Rect, cfg Config, emit func(a, b int)) {
 	if len(as) == 0 || len(bs) == 0 {
 		return
 	}
 	extent := cfg.Extent
+	//lint:ignore floateq the zero-value Rect is the documented "derive extent from inputs" sentinel; exact match intended
 	if extent == (geom.Rect{}) {
 		extent = as[0]
 		for _, r := range as[1:] {
@@ -73,8 +77,16 @@ func JoinFunc(as, bs []geom.Rect, cfg Config, emit func(a, b int)) {
 	g := newGrid(extent, dim)
 	partsA := g.partition(as)
 	partsB := g.partition(bs)
-	// Join each cell independently; deduplicate with reference points.
+	// Join each cell independently, in ascending cell order — the partition
+	// maps iterate randomly, and emission order must be deterministic like
+	// every other join kernel in the engine. Deduplicate with reference
+	// points.
+	cells := make([]int, 0, len(partsA))
 	for cell := range partsA {
+		cells = append(cells, cell)
+	}
+	sort.Ints(cells)
+	for _, cell := range cells {
 		pa, pb := partsA[cell], partsB[cell]
 		if len(pa) == 0 || len(pb) == 0 {
 			continue
@@ -175,6 +187,7 @@ func (g *grid) partition(rs []geom.Rect) map[int][]int {
 
 // Validate reports configuration problems without running a join.
 func (cfg Config) Validate() error {
+	//lint:ignore floateq the zero-value Rect is the documented "derive extent from inputs" sentinel; exact match intended
 	if cfg.Extent != (geom.Rect{}) && (!cfg.Extent.Valid() || cfg.Extent.Area() <= 0) {
 		return fmt.Errorf("partjoin: invalid extent %v", cfg.Extent)
 	}

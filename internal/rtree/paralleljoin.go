@@ -81,9 +81,10 @@ func expandJoinTasks(a, b *node, clip geom.Rect, target int) (tasks []joinTask, 
 // workers ≤ 0 selects GOMAXPROCS; workers == 1 falls back to the serial
 // JoinFuncContext (identical behavior and emission order to a direct call).
 //
-// The context is polled inside every worker per batch of node visits, and
-// between tasks; when it is done the pool stops promptly, nothing is emitted,
-// and the context's error is returned. Node-access accounting on both trees
+// The context is polled inside every worker per batch of node visits, between
+// tasks, and between buffers of the final merge; when it is done the pool
+// stops promptly, nothing further is emitted, and the context's error is
+// returned. Node-access accounting on both trees
 // and the engine's join counters are updated once, at the end, with the sum
 // of all workers' work — unlike its predecessor, this join loses no
 // accounting. Both trees may be shared with concurrent readers but not
@@ -185,8 +186,15 @@ func JoinFuncParallelContext(ctx context.Context, a, b *Tree, workers int, emit 
 			return err
 		}
 	}
-	// Deterministic merge: replay each task's buffer in task order.
+	// Deterministic merge: replay each task's buffer in task order. A huge
+	// result set makes this loop long too, so it polls between buffers —
+	// cancellation mid-merge stops the replay with some pairs already
+	// emitted, the same partial-emission semantics as a cancelled serial
+	// join.
 	for _, buf := range results {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for _, p := range buf {
 			emit(p.A, p.B)
 		}

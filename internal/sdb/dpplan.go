@@ -153,8 +153,16 @@ func (c *Catalog) PlanDP(q Query) (*Plan, error) {
 		if step == 0 {
 			rows = card[idx[plan.Base]] * card[ti] * sel[idx[plan.Base]][ti]
 		} else {
-			factor := 1.0
+			// Multiply selectivities in sorted-name order: float products
+			// round differently per order, and map iteration would make the
+			// step's EstRows (and EXPLAIN output) vary run to run.
+			us := make([]string, 0, len(joined))
 			for u := range joined {
+				us = append(us, u)
+			}
+			sort.Strings(us)
+			factor := 1.0
+			for _, u := range us {
 				if connected(ti, idx[u]) {
 					factor *= sel[ti][idx[u]]
 				}
