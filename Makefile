@@ -16,11 +16,12 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real concurrency — the HTTP service layer,
-# the catalog/executor underneath it, the parallel join kernels, the shared
+# the WAL-backed ingest path, the catalog/executor underneath it, the
+# parallel join kernels, the shared
 # metric/span registry — plus the read-mostly data structures they share
 # across goroutines (geometry, curves, datasets, samples).
 race:
-	$(GO) test -race ./internal/server/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/... ./internal/geom/... ./internal/hilbert/... ./internal/dataset/... ./internal/sample/...
+	$(GO) test -race ./internal/server/... ./internal/ingest/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/... ./internal/geom/... ./internal/hilbert/... ./internal/dataset/... ./internal/sample/...
 
 race-all:
 	$(GO) test -race ./...

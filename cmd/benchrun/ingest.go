@@ -1,0 +1,187 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"spatialsel/internal/datagen"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/histogram"
+	"spatialsel/internal/ingest"
+	"spatialsel/internal/rtree"
+	"spatialsel/internal/sdb"
+	"spatialsel/internal/server"
+)
+
+// ingestErrorGate is the accuracy bar for maintained statistics: the GH
+// estimate must stay within 5% relative error of the exact join while the
+// table churns — the paper's accuracy claim carried over to the write path.
+const ingestErrorGate = 0.05
+
+// IngestReport measures the live mutation path: sustained throughput, WAL
+// group-commit fsync latency, estimate accuracy under churn (the gate), and
+// background re-pack activity.
+type IngestReport struct {
+	Records        int         `json:"records"`
+	Batches        int         `json:"batches"`
+	RecordsPerSec  float64     `json:"records_per_sec"`
+	WALFsyncMicros Percentiles `json:"wal_fsync_micros"`
+	WALFsyncs      int         `json:"wal_fsyncs"`
+	MaxRelError    float64     `json:"max_rel_error"`
+	MeanRelError   float64     `json:"mean_rel_error"`
+	ErrorChecks    int         `json:"error_checks"`
+	Repacks        int         `json:"repacks"`
+	ErrorGatePass  bool        `json:"error_gate_pass"`
+}
+
+// runIngest churns a WAL-backed table through a serving store while a static
+// probe table provides the join target: every few batches the maintained GH
+// estimate is compared against the exact join over the published snapshot.
+func runIngest(scale float64, level int, seed int64) (IngestReport, error) {
+	// The accuracy gate needs enough expected join pairs that relative error
+	// measures statistics drift, not small-sample noise — so the churn
+	// workload has a cardinality floor independent of -scale.
+	n := int(20000 * scale)
+	if n < 8000 {
+		n = 8000
+	}
+	store, err := server.NewStore(level)
+	if err != nil {
+		return IngestReport{}, err
+	}
+	if _, _, err := store.Register(datagen.Uniform("live", n, 0.005, seed), false); err != nil {
+		return IngestReport{}, err
+	}
+	if _, _, err := store.Register(datagen.Uniform("probe", n, 0.005, seed+1), false); err != nil {
+		return IngestReport{}, err
+	}
+
+	walDir, err := os.MkdirTemp("", "benchrun-wal-")
+	if err != nil {
+		return IngestReport{}, err
+	}
+	defer os.RemoveAll(walDir)
+
+	var mu sync.Mutex
+	var fsyncs []int64
+	manager := ingest.NewManager(ingest.Options{
+		Level: level,
+		Dir:   walDir,
+		Lookup: func(name string) (*sdb.Table, error) {
+			return store.Snapshot().Catalog.Table(name)
+		},
+		Publish: store.Publish,
+	})
+	defer manager.Close()
+	tab, err := manager.Table("live")
+	if err != nil {
+		return IngestReport{}, err
+	}
+	tab.SetFsyncObserver(func(d time.Duration) {
+		mu.Lock()
+		fsyncs = append(fsyncs, d.Microseconds())
+		mu.Unlock()
+	})
+	policy := ingest.RepackPolicy{MinChurn: n / 4, MaxChurnRatio: 0.25, MaxOverlap: 0.3}
+	gh, err := histogram.NewGH(level)
+	if err != nil {
+		return IngestReport{}, err
+	}
+	probe, err := store.Snapshot().Catalog.Table("probe")
+	if err != nil {
+		return IngestReport{}, err
+	}
+
+	rep := IngestReport{}
+	rng := rand.New(rand.NewSource(seed + 2))
+	liveIDs := make([]int, n)
+	for i := range liveIDs {
+		liveIDs[i] = i
+	}
+	mkRect := func() geom.Rect {
+		x, y := rng.Float64()*0.99, rng.Float64()*0.99
+		return geom.NewRect(x, y, math.Min(1, x+0.005), math.Min(1, y+0.005))
+	}
+
+	const batches = 300
+	var errSum float64
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		var m ingest.Mutation
+		for k := 0; k < 8; k++ {
+			m.Inserts = append(m.Inserts, mkRect())
+		}
+		for k := 0; k < 4 && len(liveIDs) > n/2; k++ {
+			pick := rng.Intn(len(liveIDs))
+			dup := false
+			for _, id := range m.Deletes {
+				if id == liveIDs[pick] {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			m.Deletes = append(m.Deletes, liveIDs[pick])
+			liveIDs[pick] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+		}
+		res, err := tab.Apply(m)
+		if err != nil {
+			return rep, err
+		}
+		liveIDs = append(liveIDs, res.IDs...)
+		rep.Records += m.Records()
+		rep.Batches++
+
+		if policy.ShouldRepack(tab.Degradation()) {
+			if _, err := tab.Repack(); err != nil {
+				return rep, err
+			}
+			rep.Repacks++
+		}
+
+		// Accuracy gate: every 25 batches, maintained estimate vs exact join
+		// over the snapshot readers actually see.
+		if i%25 == 24 {
+			live, err := store.Snapshot().Catalog.Table("live")
+			if err != nil {
+				return rep, err
+			}
+			est, err := gh.Estimate(live.Stats, probe.Stats)
+			if err != nil {
+				return rep, err
+			}
+			actual := rtree.JoinCount(live.Index, probe.Index)
+			denom := math.Max(1, float64(actual))
+			rel := math.Abs(est.PairCount-float64(actual)) / denom
+			errSum += rel
+			rep.ErrorChecks++
+			if rel > rep.MaxRelError {
+				rep.MaxRelError = rel
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		rep.RecordsPerSec = float64(rep.Records) / elapsed
+	}
+	if rep.ErrorChecks > 0 {
+		rep.MeanRelError = errSum / float64(rep.ErrorChecks)
+	}
+	mu.Lock()
+	rep.WALFsyncs = len(fsyncs)
+	rep.WALFsyncMicros = percentiles(fsyncs)
+	mu.Unlock()
+	rep.ErrorGatePass = rep.MaxRelError < ingestErrorGate
+	if !rep.ErrorGatePass {
+		return rep, fmt.Errorf("ingest: GH estimate error %.4f under churn breaches the %.0f%% gate",
+			rep.MaxRelError, ingestErrorGate*100)
+	}
+	return rep, nil
+}

@@ -39,6 +39,7 @@ type Report struct {
 	Level     int                `json:"level"`
 	Iters     int                `json:"iters"`
 	Workloads []WorkloadReport   `json:"workloads"`
+	Ingest    *IngestReport      `json:"ingest,omitempty"`
 	Counters  map[string]float64 `json:"counters"`
 }
 
@@ -181,6 +182,17 @@ func run(args []string) error {
 			w.name, wr.ActualPairs, wr.JoinMicros.P50, wr.Methods["gh"].RelError,
 			wr.JoinKernel.Speedup)
 	}
+
+	// Mixed read/write workload: throughput, WAL fsync latency, and the
+	// GH-accuracy-under-churn gate (the run fails if maintained statistics
+	// drift past 5% relative error).
+	ing, err := runIngest(*scale, *level, 42)
+	if err != nil {
+		return fmt.Errorf("ingest workload: %w", err)
+	}
+	rep.Ingest = &ing
+	fmt.Fprintf(os.Stderr, "%-20s records/s=%.0f fsync_p99=%dµs max_err=%.4f repacks=%d\n",
+		"ingest-churn", ing.RecordsPerSec, ing.WALFsyncMicros.P99, ing.MaxRelError, ing.Repacks)
 
 	// Counter deltas attribute the whole run's engine work (node visits,
 	// cells touched, sample draws) to this snapshot.

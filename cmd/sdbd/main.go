@@ -53,6 +53,7 @@ func parseFlags(args []string) (*options, error) {
 	workers := fs.Int("workers", 0, "default executor parallelism (0 = auto from GOMAXPROCS, 1 = serial)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
 	load := fs.String("load", "", "directory of .sds dataset files to preload as tables")
+	walDir := fs.String("wal-dir", "", "directory for per-table write-ahead logs (empty disables durable ingest)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	enableExpvar := fs.Bool("expvar", false, "mount expvar at /debug/vars (off by default)")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +68,7 @@ func parseFlags(args []string) (*options, error) {
 			Workers:        *workers,
 			EnablePprof:    *enablePprof,
 			EnableExpvar:   *enableExpvar,
+			WALDir:         *walDir,
 		},
 		addr:  *addr,
 		grace: *grace,
@@ -96,11 +98,25 @@ func run(args []string, logw *os.File) error {
 			return err
 		}
 	}
+	// Recover WAL-backed tables before serving: replayed state must be
+	// readable from the first request. Recovery wins over -load for tables
+	// present in both (the WAL is newer — it holds post-load mutations).
+	recovered, err := srv.Ingest().Recover()
+	if err != nil {
+		return fmt.Errorf("wal recovery: %w", err)
+	}
+	if len(recovered) > 0 {
+		logger.Info("recovered tables from WAL", "tables", recovered)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Background re-packer: rebuilds degraded write trees off the hot path.
+	go srv.Ingest().Run(ctx)
+	defer srv.Ingest().Close()
 	logger.Info("sdbd listening", "addr", opts.addr, "stats_level", srv.Store().Level(),
-		"workers", opts.cfg.Workers, "pprof", opts.cfg.EnablePprof, "expvar", opts.cfg.EnableExpvar)
+		"workers", opts.cfg.Workers, "wal_dir", opts.cfg.WALDir,
+		"pprof", opts.cfg.EnablePprof, "expvar", opts.cfg.EnableExpvar)
 	err = srv.ListenAndServe(ctx, opts.addr, opts.grace)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil

@@ -2,6 +2,7 @@ package histogram
 
 import (
 	"fmt"
+	"sort"
 
 	"spatialsel/internal/dataset"
 	"spatialsel/internal/geom"
@@ -66,8 +67,17 @@ func (b *GHBuilder) Add(r geom.Rect) error {
 }
 
 // Remove subtracts one rectangle's contributions. The caller must pass a
-// rectangle previously Added (the builder cannot verify membership; removing
-// a never-added rectangle silently corrupts the sums).
+// rectangle previously Added; the builder cannot verify full membership, but
+// it does detect the common corruption: removing a rectangle whose corner
+// cells hold fewer corner counts than the removal would subtract. Corner
+// counts are sums of exact 1.0 contributions, so the check is exact — when
+// it fails, Remove returns an error and leaves the histogram untouched
+// instead of silently driving cell sums negative.
+//
+// The fractional parameters (O, H, V) cannot be membership-checked the same
+// way; after a structurally valid removal any negative floating-point dust
+// they carry is clamped to zero, keeping every cell sum non-negative — the
+// invariant Estimate relies on.
 func (b *GHBuilder) Remove(r geom.Rect) error {
 	if err := b.check(r); err != nil {
 		return err
@@ -75,9 +85,58 @@ func (b *GHBuilder) Remove(r geom.Rect) error {
 	if b.n == 0 {
 		return fmt.Errorf("histogram: Remove on empty builder")
 	}
+	if err := b.checkCornerCounts(r); err != nil {
+		return err
+	}
 	applyGHItem(b.grid, r, b.cells, -1)
+	b.clampCells(r)
 	b.n--
 	return nil
+}
+
+// checkCornerCounts verifies every corner cell of r holds at least as many
+// corner contributions as removing r would subtract (degenerate rectangles
+// land several corners in one cell). C values are integral by construction,
+// so a strict < is an exact underflow test; the 0.5 slack only guards
+// against pathological accumulated dust ever shifting an integer sum.
+func (b *GHBuilder) checkCornerCounts(r geom.Rect) error {
+	var idxs [4]int
+	for k, p := range r.Corners() {
+		i, j := b.grid.CellOf(p.X, p.Y)
+		idxs[k] = b.grid.CellIndex(i, j)
+	}
+	sort.Ints(idxs[:])
+	for k := 0; k < len(idxs); {
+		idx, want := idxs[k], 0.0
+		for k < len(idxs) && idxs[k] == idx {
+			want++
+			k++
+		}
+		if b.cells[idx].C < want-0.5 {
+			return fmt.Errorf("histogram: Remove of %v would underflow cell %d corner count (%g < %g); rectangle was never added",
+				r, idx, b.cells[idx].C, want)
+		}
+	}
+	return nil
+}
+
+// clampCells zeroes negative floating-point residue in the cells r touched.
+func (b *GHBuilder) clampCells(r geom.Rect) {
+	b.grid.VisitCells(r, func(i, j int, _ geom.Rect) {
+		c := &b.cells[b.grid.CellIndex(i, j)]
+		if c.C < 0 {
+			c.C = 0
+		}
+		if c.O < 0 {
+			c.O = 0
+		}
+		if c.H < 0 {
+			c.H = 0
+		}
+		if c.V < 0 {
+			c.V = 0
+		}
+	})
 }
 
 func (b *GHBuilder) check(r geom.Rect) error {

@@ -110,6 +110,53 @@ func TestGHBuilderRemoveRestores(t *testing.T) {
 	}
 }
 
+// TestGHBuilderRemoveUnderflow verifies the Remove contract: removing a
+// rectangle that was never added is detected via its corner counts and
+// rejected without mutating the histogram.
+func TestGHBuilderRemoveUnderflow(t *testing.T) {
+	b, err := NewGHBuilder("d", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(geom.NewRect(0.1, 0.1, 0.3, 0.3)); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Summary()
+
+	// Never-added rectangle in a different part of the grid: its corner
+	// cells hold no counts, so Remove must fail and change nothing.
+	if err := b.Remove(geom.NewRect(0.7, 0.7, 0.9, 0.9)); err == nil {
+		t.Fatal("Remove of never-added rectangle accepted")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len after rejected Remove = %d, want 1", b.Len())
+	}
+	if !ghCellsEqual(b.Summary().cells, before.cells, 0) {
+		t.Fatal("rejected Remove mutated the histogram")
+	}
+
+	// A degenerate (point) rectangle stacks all four corners in one cell:
+	// the check must require four counts there, not one.
+	pt := geom.NewRect(0.55, 0.55, 0.55, 0.55)
+	if err := b.Remove(pt); err == nil {
+		t.Fatal("Remove of never-added point accepted")
+	}
+	if err := b.Add(pt); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove(pt); err != nil {
+		t.Fatalf("Remove of added point rejected: %v", err)
+	}
+
+	// Legitimate removal still works after the rejections.
+	if err := b.Remove(geom.NewRect(0.1, 0.1, 0.3, 0.3)); err != nil {
+		t.Fatalf("Remove of added rectangle rejected: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after removals = %d, want 0", b.Len())
+	}
+}
+
 // TestGHBuilderSnapshotIsolation verifies snapshots are unaffected by later
 // updates.
 func TestGHBuilderSnapshotIsolation(t *testing.T) {

@@ -1,0 +1,187 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"spatialsel/internal/geom"
+)
+
+// drainItems builds a deterministic item set exercising splits and condense.
+func drainItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = Item{Rect: geom.NewRect(x, y, x+0.02*rng.Float64(), y+0.02*rng.Float64()), ID: i}
+	}
+	return items
+}
+
+func pairKeySet(t *testing.T, a, b *Tree) map[[2]int]bool {
+	t.Helper()
+	set := make(map[[2]int]bool)
+	JoinFunc(a, b, func(x, y int) { set[[2]int{x, y}] = true })
+	return set
+}
+
+func requireSameJoin(t *testing.T, label string, got, want *Tree, probe *Tree) {
+	t.Helper()
+	g, w := pairKeySet(t, got, probe), pairKeySet(t, want, probe)
+	if len(g) != len(w) {
+		t.Fatalf("%s: join produced %d pairs, fresh tree %d", label, len(g), len(w))
+	}
+	for k := range w {
+		if !g[k] {
+			t.Fatalf("%s: join missing pair %v", label, k)
+		}
+	}
+}
+
+// TestDeleteDrainThenRefill is the regression test for the condense path:
+// deleting every item — including the last entry in the root leaf — must
+// leave the tree in a state where subsequent Insert, Search and Join behave
+// identically to a fresh tree, with structural invariants intact after every
+// single mutation.
+func TestDeleteDrainThenRefill(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 60, 400} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			items := drainItems(n, int64(n))
+			tr := MustNew(WithFanout(2, 5))
+			for _, it := range items {
+				tr.Insert(it.Rect, it.ID)
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after build: %v", err)
+			}
+
+			// Drain in a shuffled order so condense sees leaves empty in the
+			// middle of the tree, not just at the edges.
+			order := rand.New(rand.NewSource(int64(n) * 7)).Perm(n)
+			for k, idx := range order {
+				it := items[idx]
+				if !tr.Delete(it.Rect, it.ID) {
+					t.Fatalf("delete %d: item %d not found", k, it.ID)
+				}
+				if err := tr.checkInvariants(); err != nil {
+					t.Fatalf("after delete %d (item %d): %v", k, it.ID, err)
+				}
+			}
+			if tr.Len() != 0 || tr.Height() != 0 {
+				t.Fatalf("drained tree: len=%d height=%d, want 0/0", tr.Len(), tr.Height())
+			}
+			if got := tr.Search(geom.UnitSquare, nil); len(got) != 0 {
+				t.Fatalf("drained tree still finds %d items", len(got))
+			}
+
+			// Refill through the same tree and compare against a fresh tree
+			// built from scratch with identical insertion order.
+			fresh := MustNew(WithFanout(2, 5))
+			for _, it := range items {
+				tr.Insert(it.Rect, it.ID)
+				fresh.Insert(it.Rect, it.ID)
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after refill: %v", err)
+			}
+			if tr.Len() != fresh.Len() || tr.Height() != fresh.Height() {
+				t.Fatalf("refilled len=%d height=%d, fresh len=%d height=%d",
+					tr.Len(), tr.Height(), fresh.Len(), fresh.Height())
+			}
+
+			got := tr.Search(geom.UnitSquare, nil)
+			want := fresh.Search(geom.UnitSquare, nil)
+			sort.Ints(got)
+			sort.Ints(want)
+			if len(got) != len(want) {
+				t.Fatalf("refilled search returns %d items, fresh %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("refilled search differs at %d: %d vs %d", i, got[i], want[i])
+				}
+			}
+
+			probe, err := BulkLoadSTR(drainItems(n, int64(n)+99), WithFanout(2, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameJoin(t, "refilled", tr, fresh, probe)
+		})
+	}
+}
+
+// TestInsertDeleteChurn interleaves inserts and deletes — the live-ingest
+// write pattern — and validates structural invariants and size accounting
+// after every mutation, across fanouts small enough to force frequent splits
+// and condenses.
+func TestInsertDeleteChurn(t *testing.T) {
+	for _, fan := range [][2]int{{2, 4}, {4, 10}, {20, 50}} {
+		rng := rand.New(rand.NewSource(1))
+		tr := MustNew(WithFanout(fan[0], fan[1]))
+		live := map[int]geom.Rect{}
+		order := []int{} // deletion candidates in insertion order, deterministic
+		next := 0
+		for step := 0; step < 2000; step++ {
+			if len(order) == 0 || rng.Float64() < 0.55 {
+				x, y := rng.Float64(), rng.Float64()
+				r := geom.NewRect(x, y, x+0.03*rng.Float64(), y+0.03*rng.Float64())
+				tr.Insert(r, next)
+				live[next] = r
+				order = append(order, next)
+				next++
+			} else {
+				k := rng.Intn(len(order))
+				id := order[k]
+				order = append(order[:k], order[k+1:]...)
+				if !tr.Delete(live[id], id) {
+					t.Fatalf("fan=%v step=%d: delete %d failed", fan, step, id)
+				}
+				delete(live, id)
+			}
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("fan=%v step=%d: %v", fan, step, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("fan=%v step=%d: len=%d live=%d", fan, step, tr.Len(), len(live))
+			}
+		}
+	}
+}
+
+// TestDeleteLastRootLeafEntry pins the exact scenario from the issue: a tree
+// whose root is a leaf with one entry, drained to empty, then reused.
+func TestDeleteLastRootLeafEntry(t *testing.T) {
+	tr := MustNew(WithFanout(2, 5))
+	r := geom.NewRect(0.2, 0.2, 0.4, 0.4)
+	tr.Insert(r, 42)
+	if !tr.Delete(r, 42) {
+		t.Fatal("delete of only entry failed")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatalf("after drain: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	// Deleting again must report absence, not corrupt state.
+	if tr.Delete(r, 42) {
+		t.Fatal("second delete of same entry reported success")
+	}
+
+	tr.Insert(r, 7)
+	if tr.Len() != 1 || tr.Height() != 1 {
+		t.Fatalf("after refill: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Search(geom.UnitSquare, nil); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("after refill search = %v, want [7]", got)
+	}
+	other := MustNew(WithFanout(2, 5))
+	other.Insert(r, 1)
+	if n := JoinCount(tr, other); n != 1 {
+		t.Fatalf("join after refill = %d pairs, want 1", n)
+	}
+}

@@ -1,0 +1,45 @@
+package rtree
+
+// OverlapFactor measures how degraded the tree's internal structure is: for
+// every internal node it sums the pairwise intersection areas of the node's
+// child MBRs, normalizes by the node's own MBR area, and returns the mean
+// over internal nodes. A freshly STR-packed tree sits near zero; Guttman
+// insertion churn steadily raises it, and with it the number of subtrees a
+// query or join must descend into (Brinkhoff et al.: filter cost is
+// dominated by node overlap). The live-ingest re-packer uses this as its
+// rebuild trigger.
+//
+// The scan is read-only and does not count node accesses — it is maintenance
+// accounting, not query work. An empty tree or a tree of height 1 reports 0.
+func (t *Tree) OverlapFactor() float64 {
+	if t.root == nil || t.root.leaf {
+		return 0
+	}
+	var sum float64
+	var internals int
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			return
+		}
+		internals++
+		area := n.mbr().Area()
+		if area > 0 {
+			var ov float64
+			for i := 0; i < len(n.entries); i++ {
+				for j := i + 1; j < len(n.entries); j++ {
+					ov += n.entries[i].rect.IntersectionArea(n.entries[j].rect)
+				}
+			}
+			sum += ov / area
+		}
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	if internals == 0 {
+		return 0
+	}
+	return sum / float64(internals)
+}

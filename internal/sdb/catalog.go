@@ -47,6 +47,12 @@ type Table struct {
 	Data  *dataset.Dataset
 	Index *rtree.Tree
 	Stats *histogram.GHSummary
+	// RawExtent is the dataset's extent before normalization to the unit
+	// square. The live-ingest path uses it to map incoming rectangles (given
+	// in the table's original coordinate space) onto the normalized space the
+	// index and statistics live in; a zero rect means the table was built
+	// from pre-normalized data.
+	RawExtent geom.Rect
 }
 
 // Len returns the table's cardinality.
@@ -103,7 +109,7 @@ func (c *Catalog) BuildTable(d *dataset.Dataset) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sdb: statistics %s: %w", d.Name, err)
 	}
-	return &Table{Name: d.Name, Data: nd, Index: index, Stats: statsRaw.(*histogram.GHSummary)}, nil
+	return &Table{Name: d.Name, Data: nd, Index: index, Stats: statsRaw.(*histogram.GHSummary), RawExtent: d.Extent}, nil
 }
 
 // Attach registers a pre-built table (from BuildTable, or carried over from

@@ -201,6 +201,13 @@ func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	if req.Replace {
+		// The old table's mutation front (and its WAL) describes state that
+		// no longer exists; the next mutation reopens against the new table.
+		if err := s.ingest.Forget(req.Name); err != nil {
+			s.logger.Warn("forget mutation front", "table", req.Name, "error", err)
+		}
+	}
 	writeJSON(w, http.StatusCreated, s.tableInfo(s.store.Snapshot(), t))
 }
 
@@ -238,6 +245,9 @@ func (s *Server) handleDropTable(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown table %q", name)
 		return
+	}
+	if err := s.ingest.Forget(name); err != nil {
+		s.logger.Warn("forget mutation front", "table", name, "error", err)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"spatialsel/internal/ingest"
 	"spatialsel/internal/sdb"
 )
 
@@ -40,12 +41,20 @@ type Config struct {
 	// EnableExpvar mounts the expvar handler at /debug/vars. Off by
 	// default, opt-in via sdbd -expvar.
 	EnableExpvar bool
+	// WALDir is where per-table write-ahead logs live (sdbd -wal-dir). Empty
+	// disables durability: mutation endpoints still work, but mutated tables
+	// do not survive a restart.
+	WALDir string
+	// Repack tunes the background re-pack policy for mutated tables; zero
+	// values take the ingest package defaults.
+	Repack ingest.RepackPolicy
 }
 
 // Server is the HTTP estimation/join service. Create with New, mount with
 // Handler.
 type Server struct {
 	store          *Store
+	ingest         *ingest.Manager
 	cache          *EstimateCache
 	metrics        *Metrics
 	logger         *slog.Logger
@@ -83,8 +92,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	manager := ingest.NewManager(ingest.Options{
+		Level: cfg.Level,
+		Dir:   cfg.WALDir,
+		Lookup: func(name string) (*sdb.Table, error) {
+			return store.Snapshot().Catalog.Table(name)
+		},
+		Publish: store.Publish,
+		Repack:  cfg.Repack,
+	})
 	s := &Server{
 		store:          store,
+		ingest:         manager,
 		cache:          NewEstimateCache(cfg.CacheSize),
 		metrics:        NewMetrics(),
 		logger:         cfg.Logger,
@@ -101,6 +120,9 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/tables", s.handleListTables)
 	s.route("GET /v1/tables/{name}", s.handleGetTable)
 	s.route("DELETE /v1/tables/{name}", s.handleDropTable)
+	s.route("POST /v1/tables/{name}/insert", s.handleInsert)
+	s.route("POST /v1/tables/{name}/delete", s.handleDelete)
+	s.route("POST /v1/tables/{name}/batch", s.handleBatch)
 	s.route("POST /v1/estimate", s.handleEstimate)
 	s.route("POST /v1/explain", s.handleExplain)
 	s.route("POST /v1/query", s.handleQuery)
@@ -131,6 +153,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Store exposes the table store (tests and the daemon preload tables
 // through it).
 func (s *Server) Store() *Store { return s.store }
+
+// Ingest exposes the live-ingest manager: the daemon recovers WALs through
+// it at startup and runs its background re-pack loop.
+func (s *Server) Ingest() *ingest.Manager { return s.ingest }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
 // gracefully, letting in-flight requests finish within grace.

@@ -101,6 +101,29 @@ func (s *Store) Register(d *dataset.Dataset, replace bool) (*sdb.Table, uint64, 
 	return t, gen, nil
 }
 
+// Publish installs a pre-built table, replacing any table of the same name,
+// and returns the new generation. This is the live-ingest publication path:
+// the ingest layer builds the table snapshot (shared items view, cloned
+// index, fresh statistics) outside any store lock, and Publish only performs
+// the copy-on-write snapshot swap plus the generation bump — which is what
+// invalidates the server's generation-keyed estimate cache for free.
+func (s *Store) Publish(t *sdb.Table) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := s.rebuildLocked(s.snap, t.Name)
+	if err != nil {
+		return 0, err
+	}
+	if err := next.Catalog.Attach(t); err != nil {
+		return 0, err
+	}
+	s.nextGen++
+	gen := s.nextGen
+	next.gens[t.Name] = gen
+	s.snap = next
+	return gen, nil
+}
+
 // Drop removes a table, reporting whether it existed.
 func (s *Store) Drop(name string) (bool, error) {
 	s.mu.Lock()
