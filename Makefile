@@ -21,7 +21,7 @@ test:
 # metric/span registry — plus the read-mostly data structures they share
 # across goroutines (geometry, curves, datasets, samples).
 race:
-	$(GO) test -race ./internal/server/... ./internal/ingest/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/... ./internal/geom/... ./internal/hilbert/... ./internal/dataset/... ./internal/sample/...
+	$(GO) test -race ./internal/server/... ./internal/ingest/... ./internal/telemetry/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/... ./internal/geom/... ./internal/hilbert/... ./internal/dataset/... ./internal/sample/...
 
 race-all:
 	$(GO) test -race ./...

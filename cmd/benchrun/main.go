@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"spatialsel/internal/core"
@@ -31,16 +33,18 @@ import (
 
 // Report is the top-level JSON document.
 type Report struct {
-	Date      string             `json:"date"`
-	GoVersion string             `json:"go_version"`
-	NumCPU    int                `json:"num_cpu"`
-	Workers   int                `json:"workers"`
-	Scale     float64            `json:"scale"`
-	Level     int                `json:"level"`
-	Iters     int                `json:"iters"`
-	Workloads []WorkloadReport   `json:"workloads"`
-	Ingest    *IngestReport      `json:"ingest,omitempty"`
-	Counters  map[string]float64 `json:"counters"`
+	Date       string             `json:"date"`
+	GoVersion  string             `json:"go_version"`
+	GitCommit  string             `json:"git_commit,omitempty"` // short HEAD, "" outside a repo
+	NumCPU     int                `json:"num_cpu"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Scale      float64            `json:"scale"`
+	Level      int                `json:"level"`
+	Iters      int                `json:"iters"`
+	Workloads  []WorkloadReport   `json:"workloads"`
+	Ingest     *IngestReport      `json:"ingest,omitempty"`
+	Counters   map[string]float64 `json:"counters"`
 }
 
 // WorkloadReport covers one dataset pair: the executed join truth, its
@@ -146,6 +150,17 @@ func main() {
 	}
 }
 
+// gitCommit stamps the snapshot with the working tree's short HEAD so the
+// bench trajectory is attributable across PRs. Best-effort: outside a git
+// checkout (or without git on PATH) it returns "".
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchrun", flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.2, "dataset cardinality multiplier")
@@ -163,13 +178,15 @@ func run(args []string) error {
 
 	before := obs.Default.Snapshot()
 	rep := Report{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Workers:   *workers,
-		Scale:     *scale,
-		Level:     *level,
-		Iters:     *iters,
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GitCommit:  gitCommit(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Scale:      *scale,
+		Level:      *level,
+		Iters:      *iters,
 	}
 
 	for i, w := range workloads {

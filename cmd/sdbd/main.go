@@ -23,6 +23,7 @@ import (
 
 	"spatialsel/internal/dataset"
 	"spatialsel/internal/server"
+	"spatialsel/internal/telemetry"
 )
 
 func main() {
@@ -56,19 +57,35 @@ func parseFlags(args []string) (*options, error) {
 	walDir := fs.String("wal-dir", "", "directory for per-table write-ahead logs (empty disables durable ingest)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	enableExpvar := fs.Bool("expvar", false, "mount expvar at /debug/vars (off by default)")
+	enableTelemetry := fs.Bool("telemetry", true, "run the telemetry layer (time-series scraper, request flight recorder, drift watchdog) and mount /v1/debug/{timeseries,requests}")
+	telemetryInterval := fs.Duration("telemetry-interval", 10*time.Second, "telemetry scrape interval")
+	telemetryRing := fs.Int("telemetry-ring", 360, "samples retained per time series")
+	slowQuery := fs.Duration("slow-query", 250*time.Millisecond, "flight recorder always-retains requests at least this slow")
+	flightRing := fs.Int("flight-ring", 512, "request events retained by the flight recorder")
+	flightSample := fs.Int("flight-sample", 16, "keep 1 in N fast successful requests in the flight recorder")
+	driftThreshold := fs.Float64("drift-threshold", 0.25, "windowed p90 relative error above which the estimator-drift watchdog flags a table pair")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	opts := &options{
 		cfg: server.Config{
-			Level:          *level,
-			CacheSize:      *cacheSize,
-			RequestTimeout: *timeout,
-			MaxResultRows:  *maxRows,
-			Workers:        *workers,
-			EnablePprof:    *enablePprof,
-			EnableExpvar:   *enableExpvar,
-			WALDir:         *walDir,
+			Level:           *level,
+			CacheSize:       *cacheSize,
+			RequestTimeout:  *timeout,
+			MaxResultRows:   *maxRows,
+			Workers:         *workers,
+			EnablePprof:     *enablePprof,
+			EnableExpvar:    *enableExpvar,
+			WALDir:          *walDir,
+			EnableTelemetry: *enableTelemetry,
+			Telemetry: telemetry.Options{
+				Interval:   *telemetryInterval,
+				RingSize:   *telemetryRing,
+				SlowQuery:  *slowQuery,
+				FlightRing: *flightRing,
+				SampleN:    *flightSample,
+				Drift:      telemetry.DriftConfig{Threshold: *driftThreshold},
+			},
 		},
 		addr:  *addr,
 		grace: *grace,
@@ -114,9 +131,13 @@ func run(args []string, logw *os.File) error {
 	// Background re-packer: rebuilds degraded write trees off the hot path.
 	go srv.Ingest().Run(ctx)
 	defer srv.Ingest().Close()
+	// Telemetry scraper: samples /metrics state into the time-series store
+	// on the configured interval. Nil-safe when -telemetry=false.
+	go srv.Telemetry().Run(ctx)
 	logger.Info("sdbd listening", "addr", opts.addr, "stats_level", srv.Store().Level(),
 		"workers", opts.cfg.Workers, "wal_dir", opts.cfg.WALDir,
-		"pprof", opts.cfg.EnablePprof, "expvar", opts.cfg.EnableExpvar)
+		"pprof", opts.cfg.EnablePprof, "expvar", opts.cfg.EnableExpvar,
+		"telemetry", opts.cfg.EnableTelemetry)
 	err = srv.ListenAndServe(ctx, opts.addr, opts.grace)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil

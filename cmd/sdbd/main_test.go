@@ -3,6 +3,7 @@ package main
 import (
 	"path/filepath"
 	"testing"
+	"time"
 
 	"spatialsel/internal/datagen"
 	"spatialsel/internal/dataset"
@@ -68,5 +69,38 @@ func TestPreload(t *testing.T) {
 	}
 	if err := preload(srv, filepath.Join(dir, "missing")); err == nil {
 		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestTelemetryFlags(t *testing.T) {
+	opts, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlike pprof/expvar, telemetry defaults on: it is the production
+	// observability surface, not a debug tap.
+	if !opts.cfg.EnableTelemetry {
+		t.Fatal("telemetry must default on")
+	}
+	if opts.cfg.Telemetry.SlowQuery != 250*time.Millisecond {
+		t.Fatalf("slow-query default = %v", opts.cfg.Telemetry.SlowQuery)
+	}
+
+	opts, err = parseFlags([]string{
+		"-telemetry=false", "-telemetry-interval", "2s", "-telemetry-ring", "17",
+		"-slow-query", "75ms", "-flight-ring", "33", "-flight-sample", "5",
+		"-drift-threshold", "0.5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.EnableTelemetry {
+		t.Fatal("-telemetry=false ignored")
+	}
+	tc := opts.cfg.Telemetry
+	if tc.Interval != 2*time.Second || tc.RingSize != 17 ||
+		tc.SlowQuery != 75*time.Millisecond || tc.FlightRing != 33 ||
+		tc.SampleN != 5 || tc.Drift.Threshold != 0.5 {
+		t.Fatalf("telemetry flags not threaded through: %+v", tc)
 	}
 }

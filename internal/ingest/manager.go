@@ -36,12 +36,42 @@ type Manager struct {
 
 	mu     sync.Mutex
 	tables map[string]*Table
+	// hints are tables the estimator-drift watchdog asked to re-pack: the
+	// next RepackPass treats a hinted table as degraded regardless of its
+	// tree shape. A hint survives until a successful re-pack consumes it.
+	hints map[string]bool
 }
 
 // NewManager returns a manager with no open tables.
 func NewManager(opts Options) *Manager {
 	opts.Repack = opts.Repack.withDefaults()
-	return &Manager{opts: opts, tables: make(map[string]*Table)}
+	return &Manager{opts: opts, tables: make(map[string]*Table), hints: make(map[string]bool)}
+}
+
+// HintRepack flags a table for re-packing on the next pass — the
+// estimator-drift watchdog's handshake into the maintenance loop. Hinting a
+// table with no open mutation front is a no-op beyond recording the hint:
+// an unmutated table's statistics are exactly its build-time statistics, so
+// there is nothing a re-pack would refresh until mutations open it.
+func (m *Manager) HintRepack(name string) {
+	m.mu.Lock()
+	if !m.hints[name] {
+		m.hints[name] = true
+		mDriftHints.Inc()
+	}
+	m.mu.Unlock()
+}
+
+// PendingHints lists tables with an unconsumed drift hint, sorted.
+func (m *Manager) PendingHints() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.hints))
+	for n := range m.hints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Table returns the mutation front for name, opening it on first use. The

@@ -25,6 +25,8 @@ var (
 		"Background read-tree re-packs completed.")
 	mRepackSeconds = obs.Default.FloatCounter("sdbd_ingest_repack_seconds_total",
 		"Cumulative time spent re-packing read trees.")
+	mDriftHints = obs.Default.Counter("sdbd_ingest_drift_hints_total",
+		"Re-pack hints received from the estimator-drift watchdog.")
 )
 
 // recordBatch flushes one committed batch's accounting.

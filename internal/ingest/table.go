@@ -46,6 +46,7 @@ type Degradation struct {
 	Overlap    float64 // rtree.OverlapFactor of the write tree
 	Churn      int     // mutations applied since the last pack
 	ChurnRatio float64 // Churn / max(1, Live)
+	DriftHint  bool    // estimator-drift watchdog asked for a re-pack
 	Live       int     // live (non-tombstoned) items
 	Deadwood   int     // tombstoned ID slots
 }

@@ -48,3 +48,20 @@ func SuppressedName(r *obs.Registry) {
 	//lint:ignore metriclabel corpus: grandfathered name kept for dashboard compatibility
 	r.Gauge("legacy_depth", "pre-convention metric")
 }
+
+// RegisterTelemetry pins the telemetry subsystem's metric families as
+// conforming: the scraper/flight-recorder accounting and the per-table-pair
+// drift gauges, labeled exactly as the watchdog registers them. (clean)
+func RegisterTelemetry(r *obs.Registry) {
+	r.Counter("sdbd_telemetry_scrapes_total", "completed scrape ticks")
+	r.GaugeFunc("sdbd_telemetry_series", "tracked time series", func() float64 { return 0 })
+	r.CounterFunc("sdbd_telemetry_series_dropped_total", "series past the cap", func() float64 { return 0 })
+	r.Counter("sdbd_telemetry_requests_observed_total", "requests seen by the flight recorder")
+	r.Counter("sdbd_telemetry_requests_retained_total", "requests retained", obs.L("reason", "slow"))
+	r.GaugeFunc("sdbd_estimate_rel_error_p50", "windowed p50 relative error",
+		func() float64 { return 0 }, obs.L("left", "roads"), obs.L("right", "streams"))
+	r.GaugeFunc("sdbd_estimate_rel_error_p90", "windowed p90 relative error",
+		func() float64 { return 0 }, obs.L("left", "roads"), obs.L("right", "streams"))
+	r.GaugeFunc("sdbd_estimate_drift_pairs", "flagged pairs", func() float64 { return 0 })
+	r.Counter("sdbd_ingest_drift_hints_total", "re-pack hints from the watchdog")
+}

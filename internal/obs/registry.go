@@ -270,26 +270,79 @@ func (r *Registry) Render() string { return RenderMerged(r) }
 
 // Snapshot returns every series' current value keyed by name+labels.
 // Histograms contribute <name>_sum and <name>_count entries. Used by
-// benchmark harnesses to persist counter state machine-readably.
+// benchmark harnesses to persist counter state machine-readably, and by the
+// telemetry scraper every tick.
+//
+// Like RenderMerged, the series set is collected under the registry lock but
+// sampled instruments (CounterFunc/GaugeFunc) run their closures after it is
+// released: a closure is allowed to take its owner's mutex, and that owner
+// may concurrently be registering new series (which takes the registry
+// lock) — holding both here would be an AB-BA deadlock.
 func (r *Registry) Snapshot() map[string]float64 {
-	out := make(map[string]float64)
+	type entry struct {
+		key  string
+		kind kind
+		s    *series
+	}
+	var entries []entry
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for _, f := range r.families {
 		for _, s := range f.series {
-			switch f.kind {
-			case kindCounter:
-				out[f.name+s.labels] = float64(s.counter.Value())
-			case kindFloatCounter:
-				out[f.name+s.labels] = s.fcount.Value()
-			case kindGauge:
-				out[f.name+s.labels] = float64(s.gauge.Value())
-			case kindHistogram:
-				out[f.name+"_sum"+s.labels] = s.hist.Sum()
-				out[f.name+"_count"+s.labels] = float64(s.hist.Count())
-			case kindCounterFunc, kindGaugeFunc:
-				out[f.name+s.labels] = s.fn()
+			//lint:ignore maporder entries only populate the result map below, so slice order is irrelevant
+			entries = append(entries, entry{key: f.name + s.labels, kind: f.kind, s: s})
+		}
+	}
+	r.mu.Unlock()
+	out := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		switch e.kind {
+		case kindCounter:
+			out[e.key] = float64(e.s.counter.Value())
+		case kindFloatCounter:
+			out[e.key] = e.s.fcount.Value()
+		case kindGauge:
+			out[e.key] = float64(e.s.gauge.Value())
+		case kindHistogram:
+			// e.key is name+labels; sum/count suffixes attach to the name.
+			name, labels := e.key, ""
+			if i := strings.IndexByte(e.key, '{'); i >= 0 {
+				name, labels = e.key[:i], e.key[i:]
 			}
+			out[name+"_sum"+labels] = e.s.hist.Sum()
+			out[name+"_count"+labels] = float64(e.s.hist.Count())
+		case kindCounterFunc, kindGaugeFunc:
+			out[e.key] = e.s.fn()
+		}
+	}
+	return out
+}
+
+// SnapshotMerged merges several registries' Snapshots into one map. Like
+// RenderMerged, same-name collisions keep the first registry's series — the
+// conventional layering (request registry first, obs.Default last) makes the
+// more specific registry win. The telemetry scraper samples through this.
+func SnapshotMerged(regs ...*Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range regs {
+		for name, v := range r.Snapshot() {
+			if _, dup := out[name]; !dup {
+				out[name] = v
+			}
+		}
+	}
+	return out
+}
+
+// SnapshotDelta subtracts prev from cur, keeping only the series that moved.
+// A series absent from prev counts from zero; a series absent from cur is
+// dropped (it no longer exists, there is nothing to attribute). Benchmark
+// harnesses use this to attribute a run's engine work; note the exact-zero
+// filter is intentional — an untouched counter has a bit-identical snapshot.
+func SnapshotDelta(prev, cur map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range cur {
+		if d := v - prev[name]; d != 0 {
+			out[name] = d
 		}
 	}
 	return out

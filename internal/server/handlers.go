@@ -21,6 +21,7 @@ import (
 	"spatialsel/internal/obs"
 	"spatialsel/internal/sample"
 	"spatialsel/internal/sdb"
+	"spatialsel/internal/telemetry"
 )
 
 // ---- JSON plumbing ----------------------------------------------------
@@ -320,8 +321,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	snap := s.store.Snapshot()
+	ri := telemetry.InfoFrom(r.Context())
 
 	if len(req.Tables) > 0 {
+		ri.SetTables(req.Tables)
 		qs := QuerySpec{Tables: req.Tables, Predicates: req.Predicates, Windows: req.Windows}
 		plan, err := snap.Catalog.Plan(qs.toQuery())
 		if err != nil {
@@ -329,6 +332,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		final := plan.Steps[len(plan.Steps)-1].EstRows
+		ri.SetEstRows(final)
 		card := 1.0
 		for _, name := range req.Tables {
 			t, err := snap.Catalog.Table(name)
@@ -360,11 +364,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if method == "" {
 		method = "gh"
 	}
-	est, cached, err := s.estimatePair(r.Context(), snap, req.Left, req.Right, method, req.Fraction, s.resolveWorkers(req.Workers))
+	ri.SetTables([]string{req.Left, req.Right})
+	workers := s.resolveWorkers(req.Workers)
+	ri.SetWorkers(workers)
+	est, cached, err := s.estimatePair(r.Context(), snap, req.Left, req.Right, method, req.Fraction, workers)
 	if err != nil {
 		writeError(w, statusForError(err), "%v", err)
 		return
 	}
+	ri.SetEstRows(est.PairCount)
+	ri.SetCacheHit(cached)
 	writeJSON(w, http.StatusOK, EstimateResponse{
 		Kind:          "pairwise",
 		Method:        method,
@@ -630,14 +639,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Close the estimation loop: every executed join feeds the live
 	// estimate-vs-actual error histogram with the planner's final
 	// cardinality estimate (which already accounts for windows) against the
-	// materialized row count.
+	// materialized row count — and, with telemetry on, the drift watchdog's
+	// windowed per-pair quantile sketches.
+	ri := telemetry.InfoFrom(ctx)
+	ri.SetTables(req.Tables)
+	ri.SetWorkers(plan.Workers)
 	estRows := plan.Steps[len(plan.Steps)-1].EstRows
+	ri.SetEstRows(estRows)
 	if actual := float64(res.Len()); actual > 0 {
 		d := estRows - actual
 		if d < 0 {
 			d = -d
 		}
-		s.metrics.RecordEstimateError(d / actual)
+		rel := d / actual
+		s.metrics.RecordEstimateError(rel)
+		ri.SetRelError(rel)
+		if s.telemetry != nil {
+			// Multi-way plans attribute the error to the base⋈first pair:
+			// that first join dominates the plan's cardinality estimate, and
+			// for the common two-way query it names the whole query.
+			s.telemetry.Watchdog().Observe(
+				telemetry.PairOf(plan.Base, plan.Steps[0].Table), rel)
+		}
 	}
 
 	total := res.Len()
@@ -656,6 +679,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if end > total {
 		end = total
 	}
+	ri.SetRows(total)
 	resp := QueryResponse{
 		Columns:       res.Columns,
 		Rows:          res.Rows[offset:end],

@@ -23,6 +23,7 @@ var errorBuckets = []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5}
 // output is deterministic: families and series are emitted in sorted order.
 type Metrics struct {
 	reg      *obs.Registry
+	extra    []*obs.Registry // merged into Render after reg (e.g. telemetry)
 	inflight *obs.Gauge
 	estErr   *obs.Histogram
 }
@@ -72,9 +73,18 @@ func (m *Metrics) registerSampled(cache *EstimateCache, store *Store) {
 		func() float64 { return float64(len(store.Snapshot().Catalog.Names())) })
 }
 
-// Render writes the full exposition: the server's request-level registry
-// merged with the engine-level obs.Default registry, families sorted
-// globally by name.
+// merge adds a registry to the exposition, after the request registry and
+// before obs.Default. Called during Server construction only (not
+// concurrency-safe once requests are flowing).
+func (m *Metrics) merge(reg *obs.Registry) { m.extra = append(m.extra, reg) }
+
+// Render writes the full exposition: the server's request-level registry,
+// any merged subsystem registries (telemetry), then the engine-level
+// obs.Default registry, families sorted globally by name.
 func (m *Metrics) Render() string {
-	return obs.RenderMerged(m.reg, obs.Default)
+	regs := make([]*obs.Registry, 0, 2+len(m.extra))
+	regs = append(regs, m.reg)
+	regs = append(regs, m.extra...)
+	regs = append(regs, obs.Default)
+	return obs.RenderMerged(regs...)
 }

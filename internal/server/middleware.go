@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"spatialsel/internal/obs"
+	"spatialsel/internal/telemetry"
 )
 
 // statusRecorder captures the status code a handler writes so the logging
@@ -36,14 +37,27 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 
 		// Every request gets a trace ID: clients see it in the X-Trace-Id
 		// header (and analyze reports), logs carry it, so one slow query is
-		// greppable end to end.
-		traceID := r.Header.Get("X-Trace-Id")
+		// greppable end to end. Client-supplied IDs are sanitized before
+		// they reach logs or response headers — arbitrary header bytes would
+		// otherwise be a log-injection vector.
+		traceID := sanitizeTraceID(r.Header.Get("X-Trace-Id"))
 		if traceID == "" {
 			traceID = obs.NewTraceID()
 		}
 		w.Header().Set("X-Trace-Id", traceID)
 
 		ctx := obs.WithTraceID(r.Context(), traceID)
+		// With telemetry on, every request carries a RequestInfo (handlers
+		// annotate it with tables, rows, estimate accuracy) and a span root,
+		// so retained flight-recorder entries come with their span trees.
+		// Span creation under a live root is cheap; the report is only
+		// materialized for retained events.
+		var ri *telemetry.RequestInfo
+		var root *obs.Span
+		if s.telemetry != nil {
+			ctx, ri = telemetry.WithInfo(ctx)
+			ctx, root = obs.NewTrace(ctx, route)
+		}
 		if s.requestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
@@ -52,7 +66,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		r = r.WithContext(ctx)
 
 		defer func() {
-			if p := recover(); p != nil {
+			p := recover()
+			if p != nil {
 				s.logger.Error("panic serving request",
 					"route", route, "trace_id", traceID, "panic", p, "stack", string(debug.Stack()))
 				// Best effort: the handler may have written already.
@@ -60,6 +75,21 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			}
 			elapsed := time.Since(start)
 			s.metrics.RecordRequest(route, rec.status, elapsed)
+			if s.telemetry != nil {
+				root.End()
+				ev := telemetry.Event{
+					UnixMS:         start.UnixMilli(),
+					TraceID:        traceID,
+					Route:          route,
+					Method:         r.Method,
+					Path:           r.URL.Path,
+					Status:         rec.status,
+					DurationMicros: elapsed.Microseconds(),
+					Panic:          p != nil,
+				}
+				ri.Fill(&ev)
+				s.telemetry.Flight().Record(ev, root.Report)
+			}
 			s.logger.Info("request",
 				"route", route,
 				"method", r.Method,
@@ -72,6 +102,23 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}()
 		h(rec, r)
 	}
+}
+
+// sanitizeTraceID validates a client-supplied trace ID: 1–64 characters of
+// [0-9a-f-] pass through, anything else (including empty) returns "" so the
+// caller mints a fresh ID. Conservative by design — the ID is echoed into
+// structured logs and response headers.
+func sanitizeTraceID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && c != '-' {
+			return ""
+		}
+	}
+	return id
 }
 
 // discardLogger returns a logger that drops everything, for tests and for

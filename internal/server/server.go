@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"spatialsel/internal/ingest"
+	"spatialsel/internal/obs"
 	"spatialsel/internal/sdb"
+	"spatialsel/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value gets sensible defaults from New.
@@ -48,6 +50,17 @@ type Config struct {
 	// Repack tunes the background re-pack policy for mutated tables; zero
 	// values take the ingest package defaults.
 	Repack ingest.RepackPolicy
+	// EnableTelemetry turns on the continuous-evidence layer: a background
+	// metric scraper with ring-buffer history, a per-request flight recorder,
+	// and the estimator-drift watchdog, queryable at /v1/debug/timeseries and
+	// /v1/debug/requests. The query endpoints are mounted only when this is
+	// set (same opt-in discipline as pprof). The caller still owns the scrape
+	// loop: run Telemetry().Run in a goroutine (sdbd does).
+	EnableTelemetry bool
+	// Telemetry tunes the telemetry layer (scrape interval, ring sizes, slow
+	// threshold, drift policy). The Snapshot and OnDrift fields are owned by
+	// the server and overwritten. Ignored unless EnableTelemetry is set.
+	Telemetry telemetry.Options
 }
 
 // Server is the HTTP estimation/join service. Create with New, mount with
@@ -57,6 +70,7 @@ type Server struct {
 	ingest         *ingest.Manager
 	cache          *EstimateCache
 	metrics        *Metrics
+	telemetry      *telemetry.Telemetry // nil when disabled
 	logger         *slog.Logger
 	requestTimeout time.Duration
 	maxResultRows  int
@@ -114,6 +128,18 @@ func New(cfg Config) (*Server, error) {
 		started:        time.Now(),
 	}
 	s.metrics.registerSampled(s.cache, s.store)
+	if cfg.EnableTelemetry {
+		// The scraper samples exactly what /metrics exposes (request
+		// registry, the telemetry layer's own instruments, engine defaults),
+		// so the time-series store's history lines up with any live scrape.
+		topts := cfg.Telemetry
+		topts.Snapshot = func() map[string]float64 {
+			return obs.SnapshotMerged(s.metrics.reg, s.telemetry.Registry(), obs.Default)
+		}
+		topts.OnDrift = s.onDrift
+		s.telemetry = telemetry.New(topts)
+		s.metrics.merge(s.telemetry.Registry())
+	}
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/tables", s.handleCreateTable)
@@ -139,7 +165,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.EnableExpvar {
 		s.mux.Handle("GET /debug/vars", expvar.Handler())
 	}
+	// Telemetry query endpoints are gated like pprof (mounted only when the
+	// subsystem is on) and mounted raw: querying history should not pollute
+	// the route counters or the flight ring it is reading.
+	if cfg.EnableTelemetry {
+		s.mux.HandleFunc("GET /v1/debug/timeseries", s.handleDebugTimeseries)
+		s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	}
 	return s, nil
+}
+
+// onDrift is the watchdog's newly-crossed-pair callback: log the offending
+// pair and hint the ingest re-packer that both tables' statistics have
+// drifted past the threshold, so the next repack pass rebuilds them even if
+// tree-shape degradation alone would not have fired.
+func (s *Server) onDrift(p telemetry.Pair, p90 float64) {
+	s.logger.Warn("estimator drift detected",
+		"left", p.Left, "right", p.Right, "rel_error_p90", p90)
+	s.ingest.HintRepack(p.Left)
+	s.ingest.HintRepack(p.Right)
 }
 
 func (s *Server) route(pattern string, h http.HandlerFunc) {
@@ -157,6 +201,10 @@ func (s *Server) Store() *Store { return s.store }
 // Ingest exposes the live-ingest manager: the daemon recovers WALs through
 // it at startup and runs its background re-pack loop.
 func (s *Server) Ingest() *ingest.Manager { return s.ingest }
+
+// Telemetry exposes the telemetry layer, nil when disabled. The daemon runs
+// its scrape loop (Telemetry().Run is nil-safe); tests drive Tick directly.
+func (s *Server) Telemetry() *telemetry.Telemetry { return s.telemetry }
 
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
 // gracefully, letting in-flight requests finish within grace.

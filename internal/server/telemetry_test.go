@@ -1,0 +1,448 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spatialsel/internal/telemetry"
+)
+
+// telemetryTestConfig is the tuned-for-tests telemetry setup: a tiny drift
+// threshold so the natural GH estimation error on generated tables counts as
+// "drift", a low slow threshold, and a small sampling stride.
+func telemetryTestConfig() Config {
+	return Config{
+		EnableTelemetry: true,
+		Telemetry: telemetry.Options{
+			SlowQuery: 40 * time.Millisecond,
+			SampleN:   4,
+			Drift: telemetry.DriftConfig{
+				Threshold:   1e-9,
+				MinSamples:  3,
+				WindowTicks: 1000, // never rotate during a test
+			},
+		},
+	}
+}
+
+// TestTraceIDSanitized is the log-injection regression: client-supplied
+// X-Trace-Id values are echoed only when they are 1-64 chars of [0-9a-f-];
+// anything else is replaced with a freshly minted ID.
+func TestTraceIDSanitized(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	cases := []struct {
+		id   string
+		echo bool
+	}{
+		{"deadbeefcafef00d", true},
+		{"abc-123-def", true},
+		{strings.Repeat("a", 64), true},
+		{strings.Repeat("a", 65), false}, // too long
+		{"DEADBEEF", false},              // uppercase
+		{"abc_def", false},               // underscore
+		{`" onload="alert(1)`, false},    // header smuggling attempt
+		{"../../etc/passwd", false},      // path-looking junk
+		{"g0000000", false},              // non-hex letter
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Trace-Id", tc.id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got := resp.Header.Get("X-Trace-Id")
+		if tc.echo {
+			if got != tc.id {
+				t.Errorf("valid id %q not echoed: got %q", tc.id, got)
+			}
+			continue
+		}
+		if got == tc.id {
+			t.Errorf("invalid id %q echoed back verbatim", tc.id)
+		}
+		if len(got) != 16 || sanitizeTraceID(got) != got {
+			t.Errorf("replacement for %q is not a fresh 16-hex id: %q", tc.id, got)
+		}
+	}
+}
+
+// TestMiddlewarePanicRecovery checks the full blast radius of a panicking
+// handler: the client sees a 500, the request-error metric increments, the
+// flight recorder retains the event flagged as a panic with its span tree,
+// and /metrics still renders afterwards.
+func TestMiddlewarePanicRecovery(t *testing.T) {
+	s, err := New(telemetryTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.route("GET /panictest", func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/panictest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", resp.StatusCode)
+	}
+
+	// The request counter recorded the 500 on the panicking route.
+	metrics := fetchMetrics(t, ts.URL)
+	found := false
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "sdbd_requests_total{") &&
+			strings.Contains(line, `route="GET /panictest"`) {
+			found = true
+			if !strings.Contains(line, `code="500"`) || !strings.HasSuffix(line, " 1") {
+				t.Errorf("panic request metric line = %q, want code=500 value 1", line)
+			}
+		}
+	}
+	if !found {
+		t.Error("no sdbd_requests_total line for the panicking route")
+	}
+
+	// The flight recorder kept the event, flagged as a panic, spans attached.
+	events := s.Telemetry().Flight().Query(telemetry.FlightQuery{ErrorsOnly: true})
+	if len(events) != 1 {
+		t.Fatalf("flight recorder retained %d error events, want 1", len(events))
+	}
+	ev := events[0]
+	if !ev.Panic || ev.Reason != telemetry.ReasonPanic {
+		t.Errorf("event panic=%v reason=%q, want panic=true reason=%q", ev.Panic, ev.Reason, telemetry.ReasonPanic)
+	}
+	if ev.Route != "GET /panictest" || ev.Status != http.StatusInternalServerError {
+		t.Errorf("event route=%q status=%d", ev.Route, ev.Status)
+	}
+	if ev.Spans == nil || ev.Spans.Name != "GET /panictest" {
+		t.Errorf("panic event has no span tree: %+v", ev.Spans)
+	}
+
+	// The server survived: /metrics still renders and inflight drained (the
+	// gauge reads 1 — the /metrics request observing itself).
+	after := fetchMetrics(t, ts.URL)
+	if metricValue(t, after, "sdbd_inflight_requests") != 1 {
+		t.Error("inflight gauge did not drain after panic")
+	}
+}
+
+// TestTelemetryEndpointsGated checks the pprof gating discipline: the debug
+// endpoints 404 when telemetry is disabled and 503 before the first scrape
+// tick, then serve once history exists.
+func TestTelemetryEndpointsGated(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/debug/timeseries", "/v1/debug/requests"} {
+		resp, err := http.Get(off.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("telemetry disabled: GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	s, on := newTestServer(t, telemetryTestConfig())
+	for _, path := range []string{"/v1/debug/timeseries", "/v1/debug/requests"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("before first tick: GET %s = %d, want 503", path, resp.StatusCode)
+		}
+	}
+	s.Telemetry().Tick(time.Now())
+	for _, path := range []string{"/v1/debug/timeseries", "/v1/debug/requests"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("after first tick: GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestTelemetryEndToEnd drives mixed traffic — fast queries, a slow request
+// above the threshold, an error, concurrent ingest batches — across several
+// manual scrape ticks, then checks the three telemetry surfaces together:
+// the time-series store (monotone counters, non-negative rates), the flight
+// recorder (slow and error retained with span trees, the fast bulk sampled),
+// and the drift watchdog (gauge past threshold, re-pack hint delivered to
+// the ingest manager). Run under -race this also exercises every
+// scrape-vs-observe interleaving.
+func TestTelemetryEndToEnd(t *testing.T) {
+	s, err := New(telemetryTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.route("GET /slowtest", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(60 * time.Millisecond)
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	createTable(t, ts.URL, "roads", "polyline", 1500, 7, false)
+	createTable(t, ts.URL, "streams", "polyline", 600, 8, false)
+
+	runQuery := func() {
+		var qr QueryResponse
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/query", QueryRequest{
+			Tables:     []string{"roads", "streams"},
+			Predicates: [][2]string{{"roads", "streams"}},
+			Limit:      10,
+		}, &qr)
+		if code != http.StatusOK {
+			t.Errorf("query status %d", code)
+		}
+	}
+
+	tick := func() { s.Telemetry().Tick(time.Now()) }
+	tick() // tick 1: baseline before traffic
+
+	// Mixed concurrent phase: joins (feeding the watchdog), ingest batches,
+	// the slow request, and one error — all in flight together.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runQuery()
+			runQuery()
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Generated tables are pre-normalized: inserts must stay inside
+			// the unit square.
+			base := 0.1 + 0.05*float64(i)
+			var mr MutateResponse
+			code := doJSON(t, http.MethodPost, ts.URL+"/v1/tables/roads/insert", InsertRequest{
+				Items: [][4]float64{{base, base, base + 0.02, base + 0.02}, {base + 0.03, base, base + 0.05, base + 0.01}},
+			}, &mr)
+			if code != http.StatusOK {
+				t.Errorf("insert status %d", code)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/slowtest")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		code := doJSON(t, http.MethodPost, ts.URL+"/v1/estimate", EstimateRequest{
+			Left: "no-such-table", Right: "streams",
+		}, nil)
+		if code < 400 {
+			t.Errorf("estimate against missing table: status %d, want an error", code)
+		}
+	}()
+	wg.Wait()
+
+	tick() // tick 2: sees the traffic counters and evaluates drift
+	runQuery()
+	tick() // tick 3
+	runQuery()
+	tick() // tick 4
+
+	// A sequential burst of cheap requests: with SampleN=4, exactly every
+	// fourth fast success is retained, so of these 12 at most 3 survive.
+	for i := 0; i < 12; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// ---- time-series store --------------------------------------------------
+
+	resp, err := http.Get(ts.URL + "/v1/debug/timeseries?series=sdbd_requests_total,sdbd_telemetry_scrapes_total&window=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeseries status %d: %s", resp.StatusCode, body)
+	}
+	// Fixed top-level and per-series field order (determinism at the wire).
+	for _, keys := range [][]string{
+		{`"now_unix_ms"`, `"ticks"`, `"series"`},
+		{`"name"`, `"kind"`, `"points"`},
+		{`"t_unix_ms"`, `"value"`, `"rate"`},
+	} {
+		last := -1
+		for _, k := range keys {
+			i := strings.Index(string(body), k)
+			if i < 0 {
+				t.Fatalf("timeseries body missing key %s:\n%s", k, body)
+			}
+			if i < last {
+				t.Errorf("timeseries key %s out of order", k)
+			}
+			last = i
+		}
+	}
+	var tsr telemetry.TimeseriesResult
+	if err := json.Unmarshal(body, &tsr); err != nil {
+		t.Fatalf("decode timeseries: %v", err)
+	}
+	if tsr.Ticks < 4 {
+		t.Errorf("ticks %d, want ≥ 4", tsr.Ticks)
+	}
+	queryCounter := ""
+	for _, series := range tsr.Series {
+		if series.Kind != "counter" {
+			t.Errorf("series %s classified %s, want counter", series.Name, series.Kind)
+		}
+		for i, p := range series.Points {
+			if p.Rate < 0 {
+				t.Errorf("series %s point %d: negative rate %g", series.Name, i, p.Rate)
+			}
+			if i > 0 && p.Value < series.Points[i-1].Value {
+				t.Errorf("series %s not monotone at point %d: %g < %g",
+					series.Name, i, p.Value, series.Points[i-1].Value)
+			}
+		}
+		if strings.HasPrefix(series.Name, "sdbd_requests_total") &&
+			strings.Contains(series.Name, `route="POST /v1/query"`) &&
+			strings.Contains(series.Name, `code="200"`) {
+			queryCounter = series.Name
+			if len(series.Points) < 3 {
+				t.Errorf("query counter has %d points, want ≥ 3 ticks of history", len(series.Points))
+			}
+			first, last := series.Points[0], series.Points[len(series.Points)-1]
+			if last.Value <= first.Value {
+				t.Errorf("query counter flat across traffic: %g → %g", first.Value, last.Value)
+			}
+		}
+	}
+	if queryCounter == "" {
+		t.Error("no sdbd_requests_total series for POST /v1/query in timeseries result")
+	}
+
+	// ---- flight recorder ------------------------------------------------------
+
+	var slow RequestsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/debug/requests?min_ms=40&route=/slowtest", nil, &slow); code != http.StatusOK {
+		t.Fatalf("requests (slow) status %d", code)
+	}
+	if len(slow.Events) != 1 {
+		t.Fatalf("slow filter returned %d events, want the one /slowtest call", len(slow.Events))
+	}
+	if ev := slow.Events[0]; ev.Reason != telemetry.ReasonSlow || ev.Spans == nil || ev.Spans.Name != "GET /slowtest" {
+		t.Errorf("slow event reason=%q spans=%+v", ev.Reason, ev.Spans)
+	}
+	if slow.SlowThresholdMS != 40 {
+		t.Errorf("slow threshold %gms, want 40", slow.SlowThresholdMS)
+	}
+
+	var errs RequestsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/debug/requests?errors=1", nil, &errs); code != http.StatusOK {
+		t.Fatalf("requests (errors) status %d", code)
+	}
+	if len(errs.Events) != 1 {
+		t.Fatalf("error filter returned %d events, want the one failed estimate", len(errs.Events))
+	}
+	if ev := errs.Events[0]; ev.Status < 400 || ev.Reason != telemetry.ReasonError || ev.Spans == nil {
+		t.Errorf("error event status=%d reason=%q spans-nil=%v", ev.Status, ev.Reason, ev.Spans == nil)
+	}
+
+	var all RequestsResponse
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/debug/requests", nil, &all); code != http.StatusOK {
+		t.Fatalf("requests status %d", code)
+	}
+	healthz, queries := 0, 0
+	var queryEv *telemetry.Event
+	for i := range all.Events {
+		ev := &all.Events[i]
+		switch ev.Route {
+		case "GET /healthz":
+			healthz++
+			if ev.Reason != telemetry.ReasonSample {
+				t.Errorf("healthz event retained with reason %q", ev.Reason)
+			}
+		case "POST /v1/query":
+			queries++
+			queryEv = ev
+		}
+		// Wire-format determinism: events come back newest-first by seq.
+		if i > 0 && all.Events[i-1].Seq <= ev.Seq {
+			t.Errorf("events not in descending seq order at %d", i)
+		}
+	}
+	if healthz == 0 || healthz >= 12 {
+		t.Errorf("of 12 fast /healthz requests %d retained, want sampled (≥1, <12)", healthz)
+	}
+	if queryEv == nil {
+		t.Fatal("no POST /v1/query event retained")
+	}
+	if len(queryEv.Tables) != 2 || queryEv.Spans == nil || len(queryEv.Spans.Children) == 0 {
+		t.Errorf("query event missing annotations or span tree: tables=%v spans=%+v",
+			queryEv.Tables, queryEv.Spans)
+	}
+	if queryEv.EstRows == nil || queryEv.RelError == nil {
+		t.Error("query event missing est_rows / rel_error annotations")
+	}
+
+	// ---- drift watchdog → re-pack hint ---------------------------------------
+
+	metrics := fetchMetrics(t, ts.URL)
+	p90 := metricValue(t, metrics, `sdbd_estimate_rel_error_p90{left="roads",right="streams"}`)
+	if p90 <= 1e-9 {
+		t.Errorf("drift gauge p90 = %g, want past the 1e-9 test threshold", p90)
+	}
+	metricValue(t, metrics, `sdbd_estimate_rel_error_p50{left="roads",right="streams"}`)
+	if n := metricValue(t, metrics, "sdbd_estimate_drift_pairs"); n != 1 {
+		t.Errorf("drift pair count %g, want 1", n)
+	}
+	hints := s.Ingest().PendingHints()
+	if fmt.Sprint(hints) != "[roads streams]" {
+		t.Errorf("pending re-pack hints = %v, want [roads streams]", hints)
+	}
+	if metricValue(t, metrics, "sdbd_ingest_drift_hints_total") != 2 {
+		t.Error("drift hint counter did not record both tables")
+	}
+}

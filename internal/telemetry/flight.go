@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"spatialsel/internal/obs"
+)
+
+// Event is one request's "wide event": everything worth knowing about the
+// request in a single flat record, plus the span tree for retained entries.
+// One event per request replaces grepping three log lines and a metrics
+// scrape when reconstructing an incident.
+type Event struct {
+	Seq            uint64          `json:"seq"`
+	UnixMS         int64           `json:"t_unix_ms"`
+	TraceID        string          `json:"trace_id"`
+	Route          string          `json:"route"`
+	Method         string          `json:"method"`
+	Path           string          `json:"path"`
+	Status         int             `json:"status"`
+	DurationMicros int64           `json:"duration_micros"`
+	Reason         string          `json:"reason"` // why it was retained
+	Panic          bool            `json:"panic,omitempty"`
+	Workers        int             `json:"workers,omitempty"`
+	Tables         []string        `json:"tables,omitempty"`
+	Rows           int             `json:"rows,omitempty"`
+	EstRows        *float64        `json:"est_rows,omitempty"`
+	RelError       *float64        `json:"rel_error,omitempty"`
+	CacheHit       bool            `json:"cache_hit,omitempty"`
+	Spans          *obs.SpanReport `json:"spans,omitempty"`
+}
+
+// Retention reasons, in decision order.
+const (
+	ReasonPanic  = "panic"
+	ReasonError  = "error"
+	ReasonSlow   = "slow"
+	ReasonSample = "sample"
+)
+
+// FlightRecorder is a bounded ring of retained request events with
+// tail-sampling retention: the decision is made after the request finishes,
+// when status, latency, and panic state are known. Panics and error statuses
+// (≥ 400) are always kept, as is anything at or above the slow threshold;
+// of the remaining fast, successful bulk, one in sampleN is kept so the ring
+// always carries a baseline of normal traffic to compare outliers against.
+type FlightRecorder struct {
+	slow    time.Duration
+	sampleN uint64
+
+	retained map[string]*obs.Counter
+	observed *obs.Counter
+
+	mu   sync.Mutex
+	buf  []Event
+	head int // index of the oldest retained event
+	n    int
+	seq  uint64
+	fast uint64 // fast, successful requests seen (sampling cursor)
+}
+
+// NewFlightRecorder builds a recorder. slow ≤ 0 defaults to 250ms, size to
+// 512 entries, sampleN to 16. The registry receives the recorder's retention
+// accounting; nil skips it.
+func NewFlightRecorder(slow time.Duration, size, sampleN int, reg *obs.Registry) *FlightRecorder {
+	if slow <= 0 {
+		slow = 250 * time.Millisecond
+	}
+	if size <= 0 {
+		size = 512
+	}
+	if sampleN <= 0 {
+		sampleN = 16
+	}
+	f := &FlightRecorder{
+		slow:    slow,
+		sampleN: uint64(sampleN),
+		buf:     make([]Event, size),
+	}
+	if reg != nil {
+		f.observed = reg.Counter("sdbd_telemetry_requests_observed_total",
+			"Requests seen by the flight recorder, retained or not.")
+		const retainedHelp = "Requests retained in the flight recorder, by retention reason."
+		f.retained = map[string]*obs.Counter{
+			ReasonPanic:  reg.Counter("sdbd_telemetry_requests_retained_total", retainedHelp, obs.L("reason", ReasonPanic)),
+			ReasonError:  reg.Counter("sdbd_telemetry_requests_retained_total", retainedHelp, obs.L("reason", ReasonError)),
+			ReasonSlow:   reg.Counter("sdbd_telemetry_requests_retained_total", retainedHelp, obs.L("reason", ReasonSlow)),
+			ReasonSample: reg.Counter("sdbd_telemetry_requests_retained_total", retainedHelp, obs.L("reason", ReasonSample)),
+		}
+	}
+	return f
+}
+
+// SlowThreshold returns the always-retain latency threshold.
+func (f *FlightRecorder) SlowThreshold() time.Duration { return f.slow }
+
+// Record applies the tail-sampling policy to one finished request and
+// retains it if it qualifies, reporting whether it was kept. The event's
+// Seq and Reason are assigned here. spans, when non-nil, is invoked only for
+// retained events — that is the point of tail sampling: the fast unretained
+// bulk never pays for span-tree materialization.
+func (f *FlightRecorder) Record(ev Event, spans func() *obs.SpanReport) bool {
+	if f.observed != nil {
+		f.observed.Inc()
+	}
+	f.mu.Lock()
+	switch {
+	case ev.Panic:
+		ev.Reason = ReasonPanic
+	case ev.Status >= 400:
+		ev.Reason = ReasonError
+	case ev.DurationMicros >= f.slow.Microseconds():
+		ev.Reason = ReasonSlow
+	default:
+		f.fast++
+		if (f.fast-1)%f.sampleN != 0 {
+			f.mu.Unlock()
+			return false
+		}
+		ev.Reason = ReasonSample
+	}
+	if spans != nil {
+		ev.Spans = spans()
+	}
+	f.seq++
+	ev.Seq = f.seq
+	if f.n < len(f.buf) {
+		f.buf[(f.head+f.n)%len(f.buf)] = ev
+		f.n++
+	} else {
+		f.buf[f.head] = ev
+		f.head = (f.head + 1) % len(f.buf)
+	}
+	f.mu.Unlock()
+	if c := f.retained[ev.Reason]; c != nil {
+		c.Inc()
+	}
+	return true
+}
+
+// FlightQuery filters a Snapshot of the recorder.
+type FlightQuery struct {
+	// Route keeps events whose route contains this substring ("" keeps all).
+	Route string
+	// MinMicros keeps events at least this slow.
+	MinMicros int64
+	// ErrorsOnly keeps only error and panic retentions.
+	ErrorsOnly bool
+	// Limit caps the result (0 = no cap).
+	Limit int
+}
+
+// Query returns the retained events matching q, newest first (descending
+// Seq) — a deterministic order for a given retained set.
+func (f *FlightRecorder) Query(q FlightQuery) []Event {
+	f.mu.Lock()
+	out := make([]Event, 0, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		ev := f.buf[(f.head+i)%len(f.buf)]
+		if q.Route != "" && !strings.Contains(ev.Route, q.Route) {
+			continue
+		}
+		if ev.DurationMicros < q.MinMicros {
+			continue
+		}
+		if q.ErrorsOnly && ev.Reason != ReasonError && ev.Reason != ReasonPanic {
+			continue
+		}
+		out = append(out, ev)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// ---- per-request annotations -------------------------------------------
+
+// RequestInfo is the mutable carrier the middleware threads through the
+// request context so handlers can annotate the wide event with what only
+// they know (tables joined, rows returned, estimate accuracy, cache hits).
+// All setters are nil-safe, mirroring obs.Span: handler code calls them
+// unconditionally and pays nothing when telemetry is off.
+type RequestInfo struct {
+	mu       sync.Mutex
+	tables   []string
+	workers  int
+	rows     int
+	estRows  float64
+	hasEst   bool
+	relError float64
+	hasRel   bool
+	cacheHit bool
+}
+
+type infoCtxKey struct{}
+
+// WithInfo installs a fresh RequestInfo in the context.
+func WithInfo(ctx context.Context) (context.Context, *RequestInfo) {
+	ri := &RequestInfo{}
+	return context.WithValue(ctx, infoCtxKey{}, ri), ri
+}
+
+// InfoFrom returns the context's RequestInfo, or nil when telemetry is off.
+func InfoFrom(ctx context.Context) *RequestInfo {
+	ri, _ := ctx.Value(infoCtxKey{}).(*RequestInfo)
+	return ri
+}
+
+// SetTables records the tables the request touched.
+func (ri *RequestInfo) SetTables(tables []string) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.tables = append([]string(nil), tables...)
+	ri.mu.Unlock()
+}
+
+// SetWorkers records the resolved executor parallelism.
+func (ri *RequestInfo) SetWorkers(workers int) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.workers = workers
+	ri.mu.Unlock()
+}
+
+// SetRows records the materialized result size.
+func (ri *RequestInfo) SetRows(rows int) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.rows = rows
+	ri.mu.Unlock()
+}
+
+// SetEstRows records the planner's cardinality estimate.
+func (ri *RequestInfo) SetEstRows(est float64) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.estRows = est
+	ri.hasEst = true
+	ri.mu.Unlock()
+}
+
+// SetRelError records the estimate-vs-actual relative error.
+func (ri *RequestInfo) SetRelError(rel float64) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.relError = rel
+	ri.hasRel = true
+	ri.mu.Unlock()
+}
+
+// SetCacheHit records whether the estimate came from the cache.
+func (ri *RequestInfo) SetCacheHit(hit bool) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.cacheHit = hit
+	ri.mu.Unlock()
+}
+
+// Fill copies the annotations into the event. Nil-safe.
+func (ri *RequestInfo) Fill(ev *Event) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	defer ri.mu.Unlock()
+	ev.Tables = ri.tables
+	ev.Workers = ri.workers
+	ev.Rows = ri.rows
+	if ri.hasEst {
+		v := ri.estRows
+		ev.EstRows = &v
+	}
+	if ri.hasRel {
+		v := ri.relError
+		ev.RelError = &v
+	}
+	ev.CacheHit = ri.cacheHit
+}
