@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race race-all vet lint cover bench microbench experiments examples clean
+.PHONY: all check build test race race-all chaos vet lint cover bench microbench experiments examples clean
 
 all: check
 
@@ -21,10 +21,17 @@ test:
 # metric/span registry — plus the read-mostly data structures they share
 # across goroutines (geometry, curves, datasets, samples).
 race:
-	$(GO) test -race ./internal/server/... ./internal/ingest/... ./internal/telemetry/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/... ./internal/geom/... ./internal/hilbert/... ./internal/dataset/... ./internal/sample/...
+	$(GO) test -race ./internal/server/... ./internal/ingest/... ./internal/resilience/... ./internal/faultfs/... ./internal/telemetry/... ./internal/sdb/... ./internal/obs/... ./internal/rtree/... ./internal/partjoin/... ./internal/histogram/... ./internal/geom/... ./internal/hilbert/... ./internal/dataset/... ./internal/sample/...
 
 race-all:
 	$(GO) test -race ./...
+
+# Fault-injection suite under the race detector: mixed query+ingest traffic
+# over a faulty filesystem (fsync failures, torn writes, ENOSPC), the WAL
+# failure-path tests, degraded read-only mode, and the HTTP-level admission
+# and degraded-mode contracts.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Degraded|Admission|WAL' ./internal/ingest/... ./internal/faultfs/... ./internal/resilience/... ./internal/server/...
 
 vet:
 	$(GO) vet ./...

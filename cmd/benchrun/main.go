@@ -44,6 +44,7 @@ type Report struct {
 	Iters      int                `json:"iters"`
 	Workloads  []WorkloadReport   `json:"workloads"`
 	Ingest     *IngestReport      `json:"ingest,omitempty"`
+	Overload   *OverloadReport    `json:"overload,omitempty"`
 	Counters   map[string]float64 `json:"counters"`
 }
 
@@ -168,6 +169,8 @@ func run(args []string) error {
 	iters := fs.Int("iters", 9, "timed repetitions per measurement")
 	fraction := fs.Float64("fraction", 0.1, "sampling fraction for rs/rswr/ss")
 	workers := fs.Int("workers", 0, "parallel join pool size (0 = GOMAXPROCS)")
+	overload := fs.Bool("overload", true, "run the 2x-capacity overload scenario (admission gate on vs off)")
+	overloadMS := fs.Int("overload-ms", 1200, "overload scenario phase duration in milliseconds")
 	outDir := fs.String("out", ".", "directory for BENCH_<date>.json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -210,6 +213,19 @@ func run(args []string) error {
 	rep.Ingest = &ing
 	fmt.Fprintf(os.Stderr, "%-20s records/s=%.0f fsync_p99=%dµs max_err=%.4f repacks=%d\n",
 		"ingest-churn", ing.RecordsPerSec, ing.WALFsyncMicros.P99, ing.MaxRelError, ing.Repacks)
+
+	// Overload: the admission gate against 2× capacity, versus a gate-less
+	// baseline on the same workload.
+	if *overload {
+		ol, err := runOverload(*scale, *level, time.Duration(*overloadMS)*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("overload workload: %w", err)
+		}
+		rep.Overload = &ol
+		fmt.Fprintf(os.Stderr, "%-20s goodput=%.0f/s shed=%.1f%% admitted_p99=%dµs baseline_p99=%dµs\n",
+			"overload-2x", ol.Admission.GoodputQPS, 100*ol.Admission.ShedRate,
+			ol.Admission.AdmittedMicros.P99, ol.Baseline.AdmittedMicros.P99)
+	}
 
 	// Counter deltas attribute the whole run's engine work (node visits,
 	// cells touched, sample draws) to this snapshot.

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"spatialsel/internal/dataset"
+	"spatialsel/internal/resilience"
 	"spatialsel/internal/server"
 	"spatialsel/internal/telemetry"
 )
@@ -55,6 +56,10 @@ func parseFlags(args []string) (*options, error) {
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown grace period")
 	load := fs.String("load", "", "directory of .sds dataset files to preload as tables")
 	walDir := fs.String("wal-dir", "", "directory for per-table write-ahead logs (empty disables durable ingest)")
+	walRetry := fs.Int("wal-retry", 4, "max retries for transient WAL write/fsync failures (-1 disables retry)")
+	degradedReadOnly := fs.Bool("degraded-read-only", true, "on persistent WAL failure, flip the table to read-only degraded mode instead of poisoning it (false = fail-stop)")
+	admission := fs.Bool("admission", true, "enable the estimate-driven admission gate on /v1/query (adaptive concurrency limit + cost gate)")
+	maxInflight := fs.Int("max-inflight", 0, "cap on the adaptive query concurrency limit (0 = 4x GOMAXPROCS)")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	enableExpvar := fs.Bool("expvar", false, "mount expvar at /debug/vars (off by default)")
 	enableTelemetry := fs.Bool("telemetry", true, "run the telemetry layer (time-series scraper, request flight recorder, drift watchdog) and mount /v1/debug/{timeseries,requests}")
@@ -67,6 +72,10 @@ func parseFlags(args []string) (*options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	retryMax := *walRetry
+	if retryMax == 0 {
+		retryMax = -1 // flag 0 means "no retries"; the policy spells that -1
+	}
 	opts := &options{
 		cfg: server.Config{
 			Level:           *level,
@@ -77,6 +86,11 @@ func parseFlags(args []string) (*options, error) {
 			EnablePprof:     *enablePprof,
 			EnableExpvar:    *enableExpvar,
 			WALDir:          *walDir,
+			WALRetry:        resilience.RetryPolicy{Max: retryMax},
+			WALFailStop:     !*degradedReadOnly,
+			Admission:       *admission,
+			MaxInflight:     *maxInflight,
+			AdmissionTarget: *slowQuery,
 			EnableTelemetry: *enableTelemetry,
 			Telemetry: telemetry.Options{
 				Interval:   *telemetryInterval,

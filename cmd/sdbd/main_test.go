@@ -72,6 +72,45 @@ func TestPreload(t *testing.T) {
 	}
 }
 
+func TestResilienceFlags(t *testing.T) {
+	opts, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admission and degraded read-only mode default on; fail-stop is the
+	// opt-out spelling of -degraded-read-only=false.
+	if !opts.cfg.Admission || opts.cfg.WALFailStop {
+		t.Fatalf("defaults: admission=%v failstop=%v, want true/false",
+			opts.cfg.Admission, opts.cfg.WALFailStop)
+	}
+	if opts.cfg.MaxInflight != 0 {
+		t.Fatalf("max-inflight default = %d, want 0 (auto)", opts.cfg.MaxInflight)
+	}
+	if opts.cfg.WALRetry.Max != 4 {
+		t.Fatalf("wal-retry default = %d, want 4", opts.cfg.WALRetry.Max)
+	}
+	if opts.cfg.AdmissionTarget != 250*time.Millisecond {
+		t.Fatalf("admission target default = %v, want the slow-query default", opts.cfg.AdmissionTarget)
+	}
+
+	opts, err = parseFlags([]string{
+		"-admission=false", "-max-inflight", "12",
+		"-wal-retry", "0", "-degraded-read-only=false", "-slow-query", "100ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.Admission || opts.cfg.MaxInflight != 12 || !opts.cfg.WALFailStop {
+		t.Fatalf("resilience flags not threaded through: %+v", opts.cfg)
+	}
+	if opts.cfg.WALRetry.Max != -1 {
+		t.Fatalf("-wal-retry 0 parsed as Max=%d, want -1 (disabled)", opts.cfg.WALRetry.Max)
+	}
+	if opts.cfg.AdmissionTarget != 100*time.Millisecond {
+		t.Fatalf("admission target = %v, want -slow-query value", opts.cfg.AdmissionTarget)
+	}
+}
+
 func TestTelemetryFlags(t *testing.T) {
 	opts, err := parseFlags(nil)
 	if err != nil {

@@ -1,0 +1,48 @@
+// Package faultfs is a minimal filesystem abstraction with a programmable
+// fault injector. The ingest WAL performs every file operation through a
+// faultfs.FS, so tests can drive the exact failure schedules a disk can
+// produce — a transient fsync error, a torn short write, ENOSPC mid-append,
+// a rename that never happens — without root, loop devices, or flaky
+// timing. Production code passes Disk(), which forwards straight to the os
+// package.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the WAL needs. Injected implementations
+// wrap a real file and interpose faults on each call.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+}
+
+// FS is the filesystem surface the WAL touches. All paths are plain OS
+// paths; implementations must be safe for concurrent use.
+type FS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// osFS forwards every call to the os package.
+type osFS struct{}
+
+// Disk returns the real filesystem.
+func Disk() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func openInj(t *testing.T, in *Injector, name string) File {
+	t.Helper()
+	f, err := in.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f
+}
+
+func TestDiskPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	fs := Disk()
+	f, err := fs.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b, err := fs.ReadFile(name)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := fs.Rename(name, name+"2"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.Remove(name + "2"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk(), 1)
+	in.Add(Fault{Op: OpSync, Nth: 2})
+	f := openInj(t, in, filepath.Join(dir, "f"))
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1 should pass: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 = %v, want ErrInjected", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 3 should pass: %v", err)
+	}
+	if got := in.Injected(OpSync); got != 1 {
+		t.Fatalf("Injected(sync) = %d, want 1", got)
+	}
+}
+
+func TestFailRateDeterministic(t *testing.T) {
+	fires := func(seed int64) []bool {
+		dir := t.TempDir()
+		in := NewInjector(Disk(), seed)
+		in.Add(Fault{Op: OpWrite, Rate: 0.5})
+		f := openInj(t, in, filepath.Join(dir, "f"))
+		defer f.Close()
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, err := f.Write([]byte("x"))
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := fires(7), fires(7)
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at call %d with same seed", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("rate 0.5 over 64 calls never fired")
+	}
+}
+
+func TestCountDisarms(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk(), 1)
+	in.Add(Fault{Op: OpWrite, Count: 2})
+	f := openInj(t, in, filepath.Join(dir, "f"))
+	defer f.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d = %v, want ErrInjected", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after disarm: %v", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "f")
+	in := NewInjector(Disk(), 1)
+	in.Add(Fault{Op: OpWrite, Nth: 1, Torn: 3})
+	f := openInj(t, in, name)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	b, err := os.ReadFile(name)
+	if err != nil || string(b) != "abc" {
+		t.Fatalf("file = %q, %v; want %q", b, err, "abc")
+	}
+}
+
+func TestENOSPCAndPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk(), 1)
+	in.Add(Fault{Op: OpWrite, Path: "target", Err: ErrNoSpace})
+	hit := openInj(t, in, filepath.Join(dir, "target.wal"))
+	miss := openInj(t, in, filepath.Join(dir, "other.wal"))
+	defer hit.Close()
+	defer miss.Close()
+	if _, err := hit.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("matching path = %v, want ENOSPC", err)
+	}
+	if _, err := miss.Write([]byte("x")); err != nil {
+		t.Fatalf("non-matching path should pass: %v", err)
+	}
+}
+
+func TestSlowSync(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(Disk(), 1)
+	in.Add(Fault{Op: OpSync, Nth: 1, Delay: 30 * time.Millisecond})
+	f := openInj(t, in, filepath.Join(dir, "f"))
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("slow sync should still succeed: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sync returned after %v, want >= 30ms delay", d)
+	}
+}
+
+func TestClearAndRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "a")
+	if err := os.WriteFile(old, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(Disk(), 1)
+	in.Add(Fault{Op: OpRename})
+	if err := in.Rename(old, old+".new"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(old); err != nil {
+		t.Fatalf("failed rename must leave source intact: %v", err)
+	}
+	in.Clear()
+	if err := in.Rename(old, old+".new"); err != nil {
+		t.Fatalf("rename after Clear: %v", err)
+	}
+}

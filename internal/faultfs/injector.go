@@ -1,0 +1,253 @@
+package faultfs
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the default error returned by a matched fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrNoSpace is syscall.ENOSPC, exposed so tests don't need to import
+// syscall to schedule or assert a disk-full fault.
+var ErrNoSpace error = syscall.ENOSPC
+
+// Op names one filesystem operation class a fault can target.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+	OpSeek     Op = "seek"
+	OpRename   Op = "rename"
+	OpRead     Op = "read"
+	OpRemove   Op = "remove"
+	OpClose    Op = "close"
+)
+
+// Fault is one entry in an injector's schedule. A call matches when its op
+// equals Op and the path contains Path (empty Path matches every path).
+// Among matching calls, the fault fires on the Nth (1-based; Nth == 0
+// disables the count trigger) or with probability Rate per call (seeded,
+// deterministic per injector). Count > 0 limits how many times the fault
+// fires before it disarms; Count == 0 means no limit.
+//
+// What firing does: if Delay > 0 the call sleeps first (slow fsync); if
+// Torn > 0 and the op is a write, only the first Torn bytes are written and
+// a short-write error is returned (torn append); otherwise the call is
+// suppressed and Err (default ErrInjected) is returned.
+type Fault struct {
+	Op    Op
+	Path  string        // substring match; "" matches all
+	Err   error         // returned on fire; nil → ErrInjected
+	Nth   int           // fire on the Nth matching call (1-based)
+	Rate  float64       // or fire with this probability per matching call
+	Count int           // max fires before disarming; 0 = unlimited
+	Torn  int           // write only this many bytes, then fail (writes only)
+	Delay time.Duration // sleep before proceeding; with no Err/Torn the call then succeeds
+}
+
+// Injector wraps an FS and applies a programmable fault schedule to every
+// call. Safe for concurrent use. The zero schedule forwards everything.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults []*faultState
+	fired  map[Op]int // successful injections per op, for test assertions
+}
+
+type faultState struct {
+	Fault
+	seen  int // matching calls observed
+	fires int // times fired
+}
+
+// NewInjector wraps inner. seed drives the Rate coin flips so fail-rate
+// schedules replay identically.
+func NewInjector(inner FS, seed int64) *Injector {
+	return &Injector{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(seed)),
+		fired: make(map[Op]int),
+	}
+}
+
+// Add arms a fault. Faults are evaluated in insertion order; the first one
+// that fires wins the call.
+func (in *Injector) Add(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = append(in.faults, &faultState{Fault: f})
+}
+
+// Clear disarms every fault. In-flight calls that already matched are
+// unaffected.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults = nil
+}
+
+// Injected reports how many times faults have fired for op.
+func (in *Injector) Injected(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[op]
+}
+
+// check consults the schedule for one call. It returns the error to inject
+// (nil = proceed), a sleep to apply before proceeding, and for writes the
+// torn length (-1 = write everything).
+func (in *Injector) check(op Op, path string) (inject error, delay time.Duration, torn int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	torn = -1
+	for _, f := range in.faults {
+		if f.Op != op || (f.Path != "" && !strings.Contains(path, f.Path)) {
+			continue
+		}
+		if f.Count > 0 && f.fires >= f.Count {
+			continue
+		}
+		f.seen++
+		fire := false
+		switch {
+		case f.Nth > 0:
+			fire = f.seen == f.Nth
+		case f.Rate > 0:
+			fire = in.rng.Float64() < f.Rate
+		default:
+			fire = true // unconditional fault
+		}
+		if !fire {
+			continue
+		}
+		f.fires++
+		in.fired[op]++
+		delay = f.Delay
+		if f.Delay > 0 && f.Err == nil && f.Torn == 0 {
+			return nil, delay, -1 // pure slow-disk fault: sleep, then proceed
+		}
+		if f.Torn > 0 {
+			return nil, delay, f.Torn
+		}
+		err := f.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return err, delay, -1
+	}
+	return nil, 0, -1
+}
+
+func (in *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err, delay, _ := in.check(OpOpen, name); err != nil || delay > 0 {
+		time.Sleep(delay)
+		if err != nil {
+			return nil, &os.PathError{Op: "open", Path: name, Err: err}
+		}
+	}
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{in: in, name: name, f: f}, nil
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err, delay, _ := in.check(OpRead, name); err != nil || delay > 0 {
+		time.Sleep(delay)
+		if err != nil {
+			return nil, &os.PathError{Op: "read", Path: name, Err: err}
+		}
+	}
+	return in.inner.ReadFile(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err, delay, _ := in.check(OpRename, newpath); err != nil || delay > 0 {
+		time.Sleep(delay)
+		if err != nil {
+			return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+		}
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	if err, delay, _ := in.check(OpRemove, name); err != nil || delay > 0 {
+		time.Sleep(delay)
+		if err != nil {
+			return &os.PathError{Op: "remove", Path: name, Err: err}
+		}
+	}
+	return in.inner.Remove(name)
+}
+
+// faultFile interposes the schedule on per-file operations.
+type faultFile struct {
+	in   *Injector
+	name string
+	f    File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	err, delay, torn := ff.in.check(OpWrite, ff.name)
+	time.Sleep(delay)
+	if err != nil {
+		return 0, err
+	}
+	if torn >= 0 && torn < len(p) {
+		n, werr := ff.f.Write(p[:torn])
+		if werr != nil {
+			return n, werr
+		}
+		return n, ErrInjected // short write surfaced as an explicit error
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	err, delay, _ := ff.in.check(OpSync, ff.name)
+	time.Sleep(delay)
+	if err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	err, delay, _ := ff.in.check(OpTruncate, ff.name)
+	time.Sleep(delay)
+	if err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	err, delay, _ := ff.in.check(OpSeek, ff.name)
+	time.Sleep(delay)
+	if err != nil {
+		return 0, err
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Close() error {
+	err, delay, _ := ff.in.check(OpClose, ff.name)
+	time.Sleep(delay)
+	if err != nil {
+		return err
+	}
+	return ff.f.Close()
+}

@@ -1,0 +1,156 @@
+package ingest
+
+import (
+	"fmt"
+	"time"
+
+	"spatialsel/internal/histogram"
+	"spatialsel/internal/rtree"
+)
+
+// DegradedError reports a mutation rejected because the table is in
+// read-only degraded mode: its WAL failed persistently, the circuit breaker
+// is holding writes off, and queries keep serving the last published
+// snapshot. RetryAfter is the breaker's next-probe horizon, which the
+// server forwards as a Retry-After header on the 503.
+type DegradedError struct {
+	Table      string
+	RetryAfter time.Duration
+	Err        error // root cause that tripped (or kept) the breaker
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("ingest: %s: read-only degraded mode (retry in %v): %v", e.Table, e.RetryAfter, e.Err)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }
+
+// Degraded reports whether the table is currently refusing mutations, and
+// the root cause when it is.
+func (t *Table) Degraded() (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stickyErr != nil {
+		return true, t.stickyErr
+	}
+	return t.degraded, t.degradedCause
+}
+
+// degradedErrLocked builds the 503 payload for a refused mutation; callers
+// hold t.mu.
+func (t *Table) degradedErrLocked() *DegradedError {
+	return &DegradedError{Table: t.name, RetryAfter: t.breaker.RetryAfter(), Err: t.degradedCause}
+}
+
+// enterDegraded records a persistent WAL commit failure. In the default
+// mode it trips the circuit breaker and flips the table read-only: queries
+// and estimates keep serving the last published snapshot (publication only
+// ever happens after a successful fsync, so nothing half-applied is ever
+// visible), while mutations fail fast with DegradedError until a half-open
+// probe commits a batch end to end. In fail-stop mode (-degraded-read-only
+// =false) the first failure poisons the table permanently — the pre-PR-8
+// behavior, kept for operators who prefer a loud crash-and-page over
+// limping along.
+func (t *Table) enterDegraded(cause error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failStop {
+		if t.stickyErr == nil {
+			t.stickyErr = fmt.Errorf("ingest: %s: wal failed (fail-stop mode): %w", t.name, cause)
+		}
+		return
+	}
+	t.breaker.Failure()
+	t.degradedCause = cause
+	if !t.degraded {
+		t.degraded = true
+		mWALDegraded.Inc()
+	}
+}
+
+// recoverLocked is the half-open probe's repair step: it discards the
+// write-side in-memory state (which may include batches that were applied
+// but never acknowledged — exactly what a crash would lose) and rebuilds it
+// from the WAL's durable prefix, the same path RecoverTable takes after a
+// real restart. It waits for in-flight committers and any re-pack to drain
+// first so no goroutine holds references into the state being replaced.
+// Callers hold t.mu; the wait releases it.
+func (t *Table) recoverLocked() error {
+	for t.inflight > 0 || t.repacking {
+		t.cond.Wait()
+	}
+	t.wal.Close()
+	w, cp, batches, err := OpenWALFS(t.fs, t.retryer, t.walPath)
+	if err != nil {
+		// t.wal stays closed; the next probe retries the reopen.
+		return fmt.Errorf("ingest: %s: degraded recovery: %w", t.name, err)
+	}
+	s, err := rebuildState(t.name, t.level, cp, batches)
+	if err != nil {
+		w.Close()
+		return fmt.Errorf("ingest: %s: degraded recovery: %w", t.name, err)
+	}
+	w.SetFsyncObserver(t.fsyncFn)
+	t.wal = w
+	t.rawExtent = s.rawExtent
+	t.items = s.items
+	t.deleted = s.deleted
+	t.nLive = s.nLive
+	t.tree = s.tree
+	t.builder = s.builder
+	t.seq = s.seq
+	t.churn = s.churn
+	t.delta = nil
+	return nil
+}
+
+// rebuildState reconstructs a table's write-side state from a checkpoint
+// plus replayed batches — shared by restart recovery (RecoverTable) and
+// degraded-mode recovery (recoverLocked). The returned Table is a bare
+// state holder: no WAL, publish hook, or breaker attached.
+func rebuildState(name string, level int, cp Checkpoint, batches []Batch) (*Table, error) {
+	t := &Table{
+		name:      name,
+		level:     level,
+		rawExtent: cp.RawExtent,
+		items:     cp.Items,
+		deleted:   make([]bool, len(cp.Items)),
+		seq:       cp.Seq,
+	}
+	for _, id := range cp.Deleted {
+		if id < 0 || id >= len(t.deleted) {
+			return nil, fmt.Errorf("ingest: recover %s: tombstone %d out of range", name, id)
+		}
+		t.deleted[id] = true
+	}
+	live := make([]rtree.Item, 0, len(t.items))
+	for id, r := range t.items {
+		if !t.deleted[id] {
+			live = append(live, rtree.Item{Rect: r, ID: id})
+		}
+	}
+	t.nLive = len(live)
+	var err error
+	if t.tree, err = rtree.BulkLoadSTR(live); err != nil {
+		return nil, fmt.Errorf("ingest: recover %s: %w", name, err)
+	}
+	if t.builder, err = histogram.NewGHBuilder(name, level); err != nil {
+		return nil, err
+	}
+	for _, it := range live {
+		if err := t.builder.Add(it.Rect); err != nil {
+			return nil, fmt.Errorf("ingest: recover %s: %w", name, err)
+		}
+	}
+	for _, b := range batches {
+		if b.Seq != t.seq+1 {
+			return nil, fmt.Errorf("ingest: recover %s: batch seq %d after %d (gap)", name, b.Seq, t.seq)
+		}
+		t.seq = b.Seq
+		if err := t.applyLocked(b); err != nil {
+			return nil, fmt.Errorf("ingest: recover %s: replay seq %d: %w", name, b.Seq, err)
+		}
+		t.churn += b.Records()
+	}
+	return t, nil
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 
+	"spatialsel/internal/faultfs"
+	"spatialsel/internal/resilience"
 	"spatialsel/internal/sdb"
 )
 
@@ -25,6 +27,27 @@ type Options struct {
 	Publish PublishFunc
 	// Repack holds the background re-pack policy; zero values take defaults.
 	Repack RepackPolicy
+	// FS is the filesystem WALs live on; nil means the real disk. Tests
+	// inject a faultfs.Injector here.
+	FS faultfs.FS
+	// Retry bounds WAL write/fsync retries; zero values take defaults.
+	Retry resilience.RetryPolicy
+	// Breaker paces degraded-mode write probes; zero values take defaults.
+	Breaker resilience.BreakerPolicy
+	// FailStop restores the pre-resilience behavior: the first persistent
+	// WAL failure poisons the table instead of degrading it read-only.
+	FailStop bool
+}
+
+// tableOptions assembles per-table durability options from the manager's.
+func (o *Options) tableOptions(walPath string) TableOptions {
+	return TableOptions{
+		WALPath:  walPath,
+		FS:       o.FS,
+		Retry:    o.Retry,
+		Breaker:  o.Breaker,
+		FailStop: o.FailStop,
+	}
 }
 
 // Manager owns the mutation fronts of all live tables. Tables are opened
@@ -91,12 +114,32 @@ func (m *Manager) Table(name string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := OpenTable(tbl, m.opts.Level, walPath, m.opts.Publish)
+	t, err := OpenTableOpts(tbl, m.opts.Level, m.opts.tableOptions(walPath), m.opts.Publish)
 	if err != nil {
 		return nil, err
 	}
 	m.tables[name] = t
 	return t, nil
+}
+
+// DegradedTables lists open tables currently refusing mutations (sorted) —
+// the read-only degraded set the server exports as a gauge.
+func (m *Manager) DegradedTables() []string {
+	m.mu.Lock()
+	tables := make([]*Table, 0, len(m.tables))
+	for _, t := range m.tables {
+		tables = append(tables, t)
+	}
+	m.mu.Unlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name() < tables[j].Name() })
+	// Degraded acquires each table's own lock, so it runs outside m.mu.
+	var names []string
+	for _, t := range tables {
+		if down, _ := t.Degraded(); down {
+			names = append(names, t.Name())
+		}
+	}
+	return names
 }
 
 // Forget closes a table's mutation front and deletes its WAL — the
@@ -150,7 +193,8 @@ func (m *Manager) Recover() ([]string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, name := range names {
-		t, err := RecoverTable(name, m.opts.Level, filepath.Join(m.opts.Dir, name+".wal"), m.opts.Publish)
+		opts := m.opts.tableOptions(filepath.Join(m.opts.Dir, name+".wal"))
+		t, err := RecoverTableOpts(name, m.opts.Level, opts, m.opts.Publish)
 		if err != nil {
 			return nil, err
 		}

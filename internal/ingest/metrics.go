@@ -27,6 +27,15 @@ var (
 		"Cumulative time spent re-packing read trees.")
 	mDriftHints = obs.Default.Counter("sdbd_ingest_drift_hints_total",
 		"Re-pack hints received from the estimator-drift watchdog.")
+	mWALRetry = map[string]*obs.Counter{
+		"write":      obs.Default.Counter("sdbd_wal_retry_total", "WAL operation retries after transient failures, by operation.", obs.L("op", "write")),
+		"sync":       obs.Default.Counter("sdbd_wal_retry_total", "WAL operation retries after transient failures, by operation.", obs.L("op", "sync")),
+		"checkpoint": obs.Default.Counter("sdbd_wal_retry_total", "WAL operation retries after transient failures, by operation.", obs.L("op", "checkpoint")),
+	}
+	mWALDegraded = obs.Default.Counter("sdbd_wal_degraded_total",
+		"Tables flipped to read-only degraded mode by persistent WAL failure.")
+	mWALRecovered = obs.Default.Counter("sdbd_wal_recovered_total",
+		"Tables re-armed for writes after a successful degraded-mode probe.")
 )
 
 // recordBatch flushes one committed batch's accounting.

@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"spatialsel/internal/dataset"
+	"spatialsel/internal/faultfs"
 	"spatialsel/internal/geom"
 	"spatialsel/internal/histogram"
+	"spatialsel/internal/resilience"
 	"spatialsel/internal/rtree"
 	"spatialsel/internal/sdb"
 )
@@ -75,7 +77,16 @@ type Table struct {
 	wal     *WAL // nil when durability is disabled (no WAL directory)
 	publish PublishFunc
 
+	// Resilience wiring (set at construction, immutable after).
+	walPath  string
+	fs       faultfs.FS
+	retryer  *resilience.Retryer
+	breaker  *resilience.Breaker
+	failStop bool
+	fsyncFn  func(time.Duration)
+
 	mu        sync.Mutex // the apply critical section
+	cond      *sync.Cond // signaled when inflight drains or a re-pack ends
 	rawExtent geom.Rect
 	items     []geom.Rect // by ID; append-only
 	deleted   []bool      // tombstones, parallel to items
@@ -85,19 +96,56 @@ type Table struct {
 	seq       uint64
 	churn     int  // mutations since last pack
 	repacking bool // a re-pack is between its two critical sections
+	inflight  int  // committers between apply and acknowledgment
 	delta     []deltaOp
+
+	degraded      bool  // read-only mode: WAL failed, breaker gating probes
+	degradedCause error // what tripped it
+	stickyErr     error // fail-stop mode: first failure, permanent
 
 	pubMu  sync.Mutex // serializes snapshot publication
 	pubSeq uint64     // highest sequence published
 	pubGen uint64     // generation of that publication
 }
 
+// TableOptions configures a table's durability and failure handling. The
+// zero value means no WAL (in-memory only); zero policies take the
+// resilience package defaults; a nil FS means the real disk.
+type TableOptions struct {
+	WALPath  string                   // "" disables durability
+	FS       faultfs.FS               // nil → faultfs.Disk()
+	Retry    resilience.RetryPolicy   // WAL write/fsync retry bounds
+	Breaker  resilience.BreakerPolicy // degraded-mode probe cadence
+	FailStop bool                     // poison on first WAL failure instead of degrading
+	Seed     int64                    // retry jitter seed (tests)
+}
+
+// arm attaches the resilience plumbing to a freshly built table; callers
+// construct t before any concurrent use.
+func (t *Table) arm(o TableOptions) {
+	if o.FS == nil {
+		o.FS = faultfs.Disk()
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.walPath = o.WALPath
+	t.fs = o.FS
+	t.retryer = resilience.NewRetryer(o.Retry, o.Seed)
+	t.breaker = resilience.NewBreaker(o.Breaker)
+	t.failStop = o.FailStop
+}
+
 // OpenTable wraps an existing read-only table (as registered in the serving
-// store) with a mutation front. The write tree starts as a deep clone of the
-// table's index, the GH builder is seeded from its data, and — when walPath
-// is non-empty — a fresh WAL is created whose checkpoint captures the
-// starting state, making the table durable from this moment on.
+// store) with a mutation front on the real disk with default policies. The
+// write tree starts as a deep clone of the table's index, the GH builder is
+// seeded from its data, and — when walPath is non-empty — a fresh WAL is
+// created whose checkpoint captures the starting state, making the table
+// durable from this moment on.
 func OpenTable(tbl *sdb.Table, level int, walPath string, publish PublishFunc) (*Table, error) {
+	return OpenTableOpts(tbl, level, TableOptions{WALPath: walPath}, publish)
+}
+
+// OpenTableOpts is OpenTable with explicit durability options.
+func OpenTableOpts(tbl *sdb.Table, level int, opts TableOptions, publish PublishFunc) (*Table, error) {
 	builder, err := histogram.GHBuilderFrom(tbl.Data, level)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: open %s: %w", tbl.Name, err)
@@ -116,8 +164,9 @@ func OpenTable(tbl *sdb.Table, level int, walPath string, publish PublishFunc) (
 		tree:      tbl.Index.Clone(),
 		builder:   builder,
 	}
-	if walPath != "" {
-		w, err := CreateWAL(walPath, t.checkpointLocked())
+	t.arm(opts)
+	if opts.WALPath != "" {
+		w, err := CreateWALFS(t.fs, t.retryer, opts.WALPath, t.checkpointLocked())
 		if err != nil {
 			return nil, fmt.Errorf("ingest: open %s: %w", tbl.Name, err)
 		}
@@ -126,66 +175,36 @@ func OpenTable(tbl *sdb.Table, level int, walPath string, publish PublishFunc) (
 	return t, nil
 }
 
-// RecoverTable rebuilds a table's write-side state from its WAL alone: the
-// checkpoint restores the item log, the live items are bulk-loaded into a
-// fresh tree and histogram, and every intact batch record is replayed through
-// the same code path that applied it originally. The caller publishes the
-// returned table's first snapshot (Snapshot) to make it readable.
+// RecoverTable rebuilds a table's write-side state from its WAL alone on
+// the real disk with default policies: the checkpoint restores the item
+// log, the live items are bulk-loaded into a fresh tree and histogram, and
+// every intact batch record is replayed through the same code path that
+// applied it originally. The caller publishes the returned table's first
+// snapshot (Snapshot) to make it readable.
 func RecoverTable(name string, level int, walPath string, publish PublishFunc) (*Table, error) {
-	w, cp, batches, err := OpenWAL(walPath)
+	return RecoverTableOpts(name, level, TableOptions{WALPath: walPath}, publish)
+}
+
+// RecoverTableOpts is RecoverTable with explicit durability options.
+func RecoverTableOpts(name string, level int, opts TableOptions, publish PublishFunc) (*Table, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = faultfs.Disk()
+	}
+	retryer := resilience.NewRetryer(opts.Retry, opts.Seed)
+	w, cp, batches, err := OpenWALFS(fs, retryer, opts.WALPath)
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		name:      name,
-		level:     level,
-		wal:       w,
-		publish:   publish,
-		rawExtent: cp.RawExtent,
-		items:     cp.Items,
-		deleted:   make([]bool, len(cp.Items)),
-		seq:       cp.Seq,
-	}
-	for _, id := range cp.Deleted {
-		if id < 0 || id >= len(t.deleted) {
-			w.Close()
-			return nil, fmt.Errorf("ingest: recover %s: tombstone %d out of range", name, id)
-		}
-		t.deleted[id] = true
-	}
-	live := make([]rtree.Item, 0, len(t.items))
-	for id, r := range t.items {
-		if !t.deleted[id] {
-			live = append(live, rtree.Item{Rect: r, ID: id})
-		}
-	}
-	t.nLive = len(live)
-	if t.tree, err = rtree.BulkLoadSTR(live); err != nil {
-		w.Close()
-		return nil, fmt.Errorf("ingest: recover %s: %w", name, err)
-	}
-	if t.builder, err = histogram.NewGHBuilder(name, level); err != nil {
+	t, err := rebuildState(name, level, cp, batches)
+	if err != nil {
 		w.Close()
 		return nil, err
 	}
-	for _, it := range live {
-		if err := t.builder.Add(it.Rect); err != nil {
-			w.Close()
-			return nil, fmt.Errorf("ingest: recover %s: %w", name, err)
-		}
-	}
-	for _, b := range batches {
-		if b.Seq != t.seq+1 {
-			w.Close()
-			return nil, fmt.Errorf("ingest: recover %s: batch seq %d after %d (gap)", name, b.Seq, t.seq)
-		}
-		t.seq = b.Seq
-		if err := t.applyLocked(b); err != nil {
-			w.Close()
-			return nil, fmt.Errorf("ingest: recover %s: replay seq %d: %w", name, b.Seq, err)
-		}
-		t.churn += b.Records()
-	}
+	t.wal = w
+	t.publish = publish
+	t.arm(opts)
+	t.retryer = retryer // keep the Retryer the WAL was built with
 	return t, nil
 }
 
@@ -214,8 +233,10 @@ func (t *Table) WALPath() string {
 	return t.wal.Path()
 }
 
-// SetFsyncObserver forwards to the table's WAL (no-op without one).
+// SetFsyncObserver forwards to the table's WAL (no-op without one). The
+// callback survives degraded-mode recovery, which swaps the WAL handle.
 func (t *Table) SetFsyncObserver(fn func(time.Duration)) {
+	t.fsyncFn = fn
 	if t.wal != nil {
 		t.wal.SetFsyncObserver(fn)
 	}
@@ -226,22 +247,53 @@ func (t *Table) SetFsyncObserver(fn func(time.Duration)) {
 // section, group-commit fsync, then publish the new snapshot. The store
 // generation bump that publication performs is what invalidates the server's
 // generation-keyed estimate cache.
+//
+// When the table is in degraded mode, Apply either fails fast with
+// DegradedError (breaker closed to probes) or — when the breaker grants the
+// half-open probe — repairs the write-side state from the WAL's durable
+// prefix and carries this batch as the probe: only a full append+fsync
+// re-arms the table.
 func (t *Table) Apply(m Mutation) (ApplyResult, error) {
 	if m.Records() == 0 {
 		return ApplyResult{}, fmt.Errorf("ingest: %s: empty batch", t.name)
 	}
 
 	t.mu.Lock()
+	if t.stickyErr != nil {
+		err := t.stickyErr
+		t.mu.Unlock()
+		return ApplyResult{}, err
+	}
+	probing := false
+	if t.degraded {
+		if !t.breaker.Allow() {
+			err := t.degradedErrLocked()
+			t.mu.Unlock()
+			return ApplyResult{}, err
+		}
+		if err := t.recoverLocked(); err != nil {
+			t.breaker.Failure()
+			t.degradedCause = err
+			derr := t.degradedErrLocked()
+			t.mu.Unlock()
+			return ApplyResult{}, derr
+		}
+		// State repaired; this batch is the probe. degraded stays set until
+		// the commit lands so concurrent writers keep failing fast.
+		probing = true
+	}
 	norm := make([]geom.Rect, len(m.Inserts))
 	for i, r := range m.Inserts {
 		nr, err := t.normalizeLocked(r)
 		if err != nil {
+			t.failProbeLocked(probing)
 			t.mu.Unlock()
 			return ApplyResult{}, err
 		}
 		norm[i] = nr
 	}
 	if err := t.validateDeletesLocked(m.Deletes); err != nil {
+		t.failProbeLocked(probing)
 		t.mu.Unlock()
 		return ApplyResult{}, err
 	}
@@ -255,6 +307,8 @@ func (t *Table) Apply(m Mutation) (ApplyResult, error) {
 	}
 	if t.wal != nil {
 		if err := t.wal.Append(batch); err != nil {
+			t.seq--
+			t.failProbeLocked(probing)
 			t.mu.Unlock()
 			return ApplyResult{}, err
 		}
@@ -268,19 +322,68 @@ func (t *Table) Apply(m Mutation) (ApplyResult, error) {
 	t.churn += batch.Records()
 	seq := t.seq
 	snap := t.snapshotLocked()
+	t.inflight++
 	t.mu.Unlock()
 
 	if t.wal != nil {
 		if err := t.wal.Sync(seq); err != nil {
-			return ApplyResult{}, err
+			t.commitDone()
+			t.enterDegraded(err)
+			t.mu.Lock()
+			var ret error
+			if t.stickyErr != nil {
+				ret = t.stickyErr
+			} else {
+				ret = t.degradedErrLocked()
+			}
+			t.mu.Unlock()
+			return ApplyResult{}, ret
 		}
 	}
+	if probing || t.wal != nil {
+		t.commitLanded(probing)
+	}
 	gen, err := t.publishSnap(seq, snap)
+	t.commitDone()
 	if err != nil {
 		return ApplyResult{}, err
 	}
 	recordBatch(len(m.Inserts), len(m.Deletes))
 	return ApplyResult{IDs: ids, Seq: seq, Gen: gen}, nil
+}
+
+// failProbeLocked re-trips the breaker when a half-open probe dies on
+// validation before reaching the WAL: the recovery itself worked, but the
+// table must stay degraded because no commit proved the disk healthy.
+// Callers hold t.mu.
+func (t *Table) failProbeLocked(probing bool) {
+	if probing {
+		t.breaker.Failure()
+	}
+}
+
+// commitLanded records a successful append+fsync: the breaker's failure
+// streak resets, and a probe commit re-arms the table for writes.
+func (t *Table) commitLanded(probing bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.breaker.Success()
+	if probing && t.degraded {
+		t.degraded = false
+		t.degradedCause = nil
+		mWALRecovered.Inc()
+	}
+}
+
+// commitDone retires an in-flight committer and wakes anyone waiting for
+// the commit pipeline to drain (degraded-mode recovery).
+func (t *Table) commitDone() {
+	t.mu.Lock()
+	t.inflight--
+	if t.inflight == 0 {
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
 }
 
 // Snapshot builds and publishes the table's current snapshot, returning the
@@ -322,7 +425,10 @@ func (t *Table) Degradation() Degradation {
 // truncate-on-repack step. Returns false when a re-pack was already running.
 func (t *Table) Repack() (bool, error) {
 	t.mu.Lock()
-	if t.repacking {
+	if t.repacking || t.degraded || t.stickyErr != nil {
+		// Degraded tables skip re-packs: the WAL checkpoint rewrite would
+		// need the very disk that just failed, and the probe path owns
+		// recovery.
 		t.mu.Unlock()
 		return false, nil
 	}
@@ -341,6 +447,7 @@ func (t *Table) Repack() (bool, error) {
 	if err != nil {
 		t.mu.Lock()
 		t.repacking = false
+		t.cond.Broadcast()
 		t.mu.Unlock()
 		return false, fmt.Errorf("ingest: repack %s: %w", t.name, err)
 	}
@@ -355,11 +462,16 @@ func (t *Table) Repack() (bool, error) {
 	}
 	t.delta = nil
 	t.repacking = false
+	t.cond.Broadcast()
 	t.tree = packed
 	t.churn = 0
 	seq := t.seq
 	var werr error
 	if t.wal != nil {
+		// A failed checkpoint rewrite is non-destructive: the old log (its
+		// checkpoint plus the full batch history) still covers the packed
+		// state, so the re-pack stands and the truncation is retried on the
+		// next pass.
 		werr = t.wal.Checkpoint(t.checkpointLocked())
 	}
 	snap := t.snapshotLocked()

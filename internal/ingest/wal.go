@@ -18,12 +18,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"sync"
 	"time"
 
+	"spatialsel/internal/faultfs"
 	"spatialsel/internal/geom"
+	"spatialsel/internal/resilience"
 )
 
 // Record kinds. A WAL file is [checkpoint record][batch record]*.
@@ -72,17 +75,28 @@ type Checkpoint struct {
 // fsync: whoever acquires the sync lock first flushes everything buffered so
 // far, and the rest observe their sequence already durable and return
 // immediately.
+//
+// Failure handling: transient write/fsync errors are retried with backoff
+// after rewinding the file to its durable prefix, so a torn or short write
+// never leaves half a record where replay would find it. A failed Sync (all
+// retries exhausted) leaves the buffered records in place — the batch is
+// unacknowledged but the log stays usable, and a later Sync retries the
+// whole pending suffix. Only a failed rewind — the file offset is then
+// unknown — poisons the log.
 type WAL struct {
-	path string
+	path  string
+	fs    faultfs.FS
+	retry *resilience.Retryer
 
 	mu       sync.Mutex // guards f, buf, appended, synced, err
-	f        *os.File
+	f        faultfs.File
 	buf      []byte
 	appended uint64 // highest seq encoded into buf or file
 	synced   uint64 // highest seq known durable
-	err      error  // sticky: a failed write or fsync poisons the log
+	err      error  // fatal-only: set when the file state is unknowable
 
-	smu sync.Mutex // serializes fsyncs (the group-commit critical section)
+	smu     sync.Mutex // serializes fsyncs (the group-commit critical section)
+	durable int64      // intact-prefix length of the file; guarded by smu
 
 	// fsyncObs, when set, receives the duration of every real fsync — the
 	// benchmark harness uses it to report fsync percentiles. The obs
@@ -91,24 +105,42 @@ type WAL struct {
 }
 
 // CreateWAL writes a fresh WAL at path containing only the checkpoint and
-// returns it open for appends. The file is built in a temp sibling and
-// renamed into place after an fsync, so a crash mid-create never leaves a
-// half-written log behind.
+// returns it open for appends, using the real disk and default retry
+// policy. The file is built in a temp sibling and renamed into place after
+// an fsync, so a crash mid-create never leaves a half-written log behind.
 func CreateWAL(path string, cp Checkpoint) (*WAL, error) {
-	f, err := writeCheckpointFile(path, cp)
+	return CreateWALFS(faultfs.Disk(), nil, path, cp)
+}
+
+// CreateWALFS is CreateWAL over an injectable filesystem and retry policy
+// (nil retry = defaults).
+func CreateWALFS(fs faultfs.FS, retry *resilience.Retryer, path string, cp Checkpoint) (*WAL, error) {
+	if retry == nil {
+		retry = resilience.NewRetryer(resilience.RetryPolicy{}, 0)
+	}
+	f, n, err := writeCheckpointFile(fs, path, cp)
 	if err != nil {
 		return nil, err
 	}
-	return &WAL{path: path, f: f, appended: cp.Seq, synced: cp.Seq}, nil
+	return &WAL{path: path, fs: fs, retry: retry, f: f, durable: n, appended: cp.Seq, synced: cp.Seq}, nil
 }
 
-// OpenWAL replays an existing WAL: it returns the checkpoint, every intact
-// batch record after it, and the log opened for appends. A torn or corrupt
-// tail (crash mid-write) is truncated away; corruption anywhere before the
-// tail is an error, since silently dropping acknowledged batches would lose
-// committed data.
+// OpenWAL replays an existing WAL on the real disk with the default retry
+// policy. It returns the checkpoint, every intact batch record after it,
+// and the log opened for appends. A torn or corrupt tail (crash mid-write)
+// is truncated away; corruption anywhere before the tail is an error, since
+// silently dropping acknowledged batches would lose committed data.
 func OpenWAL(path string) (*WAL, Checkpoint, []Batch, error) {
-	data, err := os.ReadFile(path)
+	return OpenWALFS(faultfs.Disk(), nil, path)
+}
+
+// OpenWALFS is OpenWAL over an injectable filesystem and retry policy (nil
+// retry = defaults).
+func OpenWALFS(fs faultfs.FS, retry *resilience.Retryer, path string) (*WAL, Checkpoint, []Batch, error) {
+	if retry == nil {
+		retry = resilience.NewRetryer(resilience.RetryPolicy{}, 0)
+	}
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, Checkpoint{}, nil, err
 	}
@@ -116,7 +148,7 @@ func OpenWAL(path string) (*WAL, Checkpoint, []Batch, error) {
 	if err != nil {
 		return nil, Checkpoint{}, nil, fmt.Errorf("ingest: wal %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, Checkpoint{}, nil, err
 	}
@@ -136,7 +168,7 @@ func OpenWAL(path string) (*WAL, Checkpoint, []Batch, error) {
 	if n := len(batches); n > 0 {
 		top = batches[n-1].Seq
 	}
-	return &WAL{path: path, f: f, appended: top, synced: top}, cp, batches, nil
+	return &WAL{path: path, fs: fs, retry: retry, f: f, durable: goodLen, appended: top, synced: top}, cp, batches, nil
 }
 
 // Path returns the log's file path.
@@ -169,6 +201,12 @@ func (w *WAL) Append(b Batch) error {
 // commit: one fsync covers all batches buffered at the time it runs, and
 // committers whose sequence that fsync already covered return without
 // touching the disk at all.
+//
+// Each write+fsync attempt that fails rewinds the file to the durable
+// prefix before backing off, so retries rewrite the pending suffix from a
+// record boundary. When retries are exhausted the pending records stay
+// buffered: the commit is unacknowledged, but the next Sync (the circuit
+// breaker's half-open probe, typically) picks them up again.
 func (w *WAL) Sync(seq uint64) error {
 	w.smu.Lock()
 	defer w.smu.Unlock()
@@ -183,39 +221,84 @@ func (w *WAL) Sync(seq uint64) error {
 		w.mu.Unlock()
 		return nil
 	}
-	buf := w.buf
-	w.buf = nil
+	// Full-capacity slice: concurrent Appends growing w.buf reallocate
+	// instead of clobbering the bytes being written.
+	buf := w.buf[:len(w.buf):len(w.buf)]
 	top := w.appended
 	f := w.f
 	w.mu.Unlock()
 
 	// File writes happen outside mu so appends keep flowing, but inside smu
 	// so the write order matches the buffer order.
-	if len(buf) > 0 {
-		if _, err := f.Write(buf); err != nil {
-			return w.poison(err)
+	attempt := func() error {
+		if len(buf) > 0 {
+			if _, err := f.Write(buf); err != nil {
+				return err
+			}
 		}
+		start := time.Now()
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		d := time.Since(start)
+		mWALFsync.Observe(d.Seconds())
+		if w.fsyncObs != nil {
+			w.fsyncObs(d)
+		}
+		return nil
 	}
-	start := time.Now()
-	if err := f.Sync(); err != nil {
-		return w.poison(err)
-	}
-	d := time.Since(start)
-	mWALFsync.Observe(d.Seconds())
-	if w.fsyncObs != nil {
-		w.fsyncObs(d)
+	err := w.retry.Do(attempt, func(error) error {
+		mWALRetry["sync"].Inc()
+		return w.rewind(f)
+	})
+	if err != nil {
+		if w.fatal() == nil {
+			// Retries exhausted on a transient error: leave the file rewound
+			// to its durable prefix so a later probe starts clean.
+			if rerr := w.rewind(f); rerr != nil {
+				return rerr
+			}
+		}
+		return err
 	}
 
 	w.mu.Lock()
 	w.synced = top
+	w.buf = w.buf[len(buf):]
 	w.mu.Unlock()
+	w.durable += int64(len(buf))
 	return nil
+}
+
+// rewind truncates the file back to its durable prefix after a failed
+// write or fsync, restoring the invariant that the file ends on a record
+// boundary. A rewind failure leaves the on-disk state unknowable and
+// poisons the log. Callers hold smu.
+func (w *WAL) rewind(f faultfs.File) error {
+	if err := f.Truncate(w.durable); err != nil {
+		return w.poison(fmt.Errorf("ingest: wal %s: rewind truncate: %w", w.path, err))
+	}
+	if _, err := f.Seek(w.durable, io.SeekStart); err != nil {
+		return w.poison(fmt.Errorf("ingest: wal %s: rewind seek: %w", w.path, err))
+	}
+	return nil
+}
+
+// fatal reports the sticky fatal error, if any.
+func (w *WAL) fatal() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
 }
 
 // Checkpoint atomically replaces the log with a single checkpoint record —
 // the truncate-on-repack step. The caller must guarantee cp reflects every
 // batch appended so far (the table mutation front calls this under its
 // apply lock). The new file is durable before the old one is replaced.
+//
+// Failure is non-destructive: each attempt builds a temp sibling, so until
+// the rename lands the old log — checkpoint plus full batch history — keeps
+// serving, and the caller may simply try again on the next re-pack.
 func (w *WAL) Checkpoint(cp Checkpoint) error {
 	w.smu.Lock()
 	defer w.smu.Unlock()
@@ -224,9 +307,17 @@ func (w *WAL) Checkpoint(cp Checkpoint) error {
 	if w.err != nil {
 		return w.err
 	}
-	f, err := writeCheckpointFile(w.path, cp)
+	var f faultfs.File
+	var n int64
+	err := w.retry.Do(func() error {
+		var werr error
+		f, n, werr = writeCheckpointFile(w.fs, w.path, cp)
+		return werr
+	}, func(error) error {
+		mWALRetry["checkpoint"].Inc()
+		return nil
+	})
 	if err != nil {
-		w.err = err
 		return err
 	}
 	w.f.Close()
@@ -234,6 +325,7 @@ func (w *WAL) Checkpoint(cp Checkpoint) error {
 	w.buf = nil
 	w.appended = cp.Seq
 	w.synced = cp.Seq
+	w.durable = n
 	return nil
 }
 
@@ -264,31 +356,31 @@ func (w *WAL) poison(err error) error {
 
 // writeCheckpointFile builds path's content (magic + one checkpoint record)
 // in a temp sibling, fsyncs it, and renames it into place, returning the
-// open handle positioned for appends.
-func writeCheckpointFile(path string, cp Checkpoint) (*os.File, error) {
+// open handle positioned for appends and the file's length.
+func writeCheckpointFile(fs faultfs.FS, path string, cp Checkpoint) (faultfs.File, int64, error) {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	buf := append([]byte(nil), walMagic[:]...)
 	buf = appendRecord(buf, encodeCheckpoint(cp))
 	if _, err := f.Write(buf); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return nil, err
+		fs.Remove(tmp)
+		return nil, 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return nil, err
+		fs.Remove(tmp)
+		return nil, 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
 		f.Close()
-		os.Remove(tmp)
-		return nil, err
+		fs.Remove(tmp)
+		return nil, 0, err
 	}
-	return f, nil
+	return f, int64(len(buf)), nil
 }
 
 // ---- record encoding ---------------------------------------------------

@@ -65,3 +65,19 @@ func RegisterTelemetry(r *obs.Registry) {
 	r.GaugeFunc("sdbd_estimate_drift_pairs", "flagged pairs", func() float64 { return 0 })
 	r.Counter("sdbd_ingest_drift_hints_total", "re-pack hints from the watchdog")
 }
+
+// RegisterResilience pins the resilience subsystem's metric families as
+// conforming: the admission gate's decision counters and gauges, and the WAL
+// fault-tolerance counters, labeled exactly as the server and ingest layers
+// register them. (clean)
+func RegisterResilience(r *obs.Registry) {
+	r.CounterFunc("sdbd_admission_admitted_total", "queries admitted", func() float64 { return 0 })
+	r.CounterFunc("sdbd_admission_shed_total", "queries shed with 503", func() float64 { return 0 })
+	r.CounterFunc("sdbd_admission_degraded_total", "queries forced serial", func() float64 { return 0 })
+	r.GaugeFunc("sdbd_admission_limit", "adaptive concurrency limit", func() float64 { return 0 })
+	r.GaugeFunc("sdbd_admission_inflight", "admitted queries in flight", func() float64 { return 0 })
+	r.Counter("sdbd_wal_retry_total", "retried WAL operations", obs.L("op", "sync"))
+	r.Counter("sdbd_wal_degraded_total", "tables flipped read-only")
+	r.Counter("sdbd_wal_recovered_total", "tables re-armed after probe")
+	r.GaugeFunc("sdbd_wal_degraded_tables", "tables currently degraded", func() float64 { return 0 })
+}

@@ -1,0 +1,228 @@
+package resilience
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// AdmissionPolicy configures a Controller. Zero values take the defaults
+// from WithDefaults.
+type AdmissionPolicy struct {
+	// MaxInflight caps the adaptive concurrency limit (and is its starting
+	// value). Default 4×GOMAXPROCS.
+	MaxInflight int
+	// MinInflight floors the limit so the server never wedges shut.
+	// Default 1.
+	MinInflight int
+	// Target is the latency the limiter steers admitted queries toward —
+	// the server wires -slow-query here. Queries predicted (or observed)
+	// to exceed it push the limit down. Default 250ms.
+	Target time.Duration
+	// DecreaseFactor is the multiplicative cut applied to the limit when
+	// an admitted query finishes over Target. Default 0.5.
+	DecreaseFactor float64
+	// DecreaseEvery spaces multiplicative cuts so one slow burst doesn't
+	// collapse the limit to the floor before the cut can take effect.
+	// Default = Target.
+	DecreaseEvery time.Duration
+}
+
+// WithDefaults fills unset fields.
+func (p AdmissionPolicy) WithDefaults() AdmissionPolicy {
+	if p.MaxInflight <= 0 {
+		p.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if p.MinInflight <= 0 {
+		p.MinInflight = 1
+	}
+	if p.MaxInflight < p.MinInflight {
+		p.MaxInflight = p.MinInflight
+	}
+	if p.Target <= 0 {
+		p.Target = 250 * time.Millisecond
+	}
+	if p.DecreaseFactor <= 0 || p.DecreaseFactor >= 1 {
+		p.DecreaseFactor = 0.5
+	}
+	if p.DecreaseEvery <= 0 {
+		p.DecreaseEvery = p.Target
+	}
+	return p
+}
+
+// ewmaAlpha weights the newest per-unit cost observation. 0.2 ≈ a ~10-query
+// memory: stable enough to ride out one outlier, fresh enough to track a
+// cache going cold.
+const ewmaAlpha = 0.2
+
+// Controller is the server's admission gate. It combines an AIMD adaptive
+// concurrency limit (additive increase when admitted queries finish under
+// Target, multiplicative decrease when they don't — the TCP congestion
+// window applied to query slots) with a cost model calibrated online: every
+// completed query reports its cost in abstract units (estimated result rows
+// + modeled index I/O) and its wall time, and the controller keeps an EWMA
+// of nanoseconds per unit. PredictCost then prices a candidate query before
+// execution, which is what lets the handler reject doomed work at arrival
+// instead of timing it out thirty seconds later. Safe for concurrent use.
+type Controller struct {
+	policy AdmissionPolicy
+
+	mu           sync.Mutex
+	limit        float64 // fractional so +1/limit additive increases accumulate
+	inflight     int
+	nsPerUnit    float64 // EWMA; 0 until first calibration
+	lastDecrease time.Time
+	admitted     uint64
+	shed         uint64
+	degraded     uint64
+	now          func() time.Time
+}
+
+// NewController builds a Controller with p (defaults applied). The limit
+// starts at MaxInflight and adapts from there.
+func NewController(p AdmissionPolicy) *Controller {
+	p = p.WithDefaults()
+	return &Controller{policy: p, limit: float64(p.MaxInflight), now: time.Now}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (c *Controller) Policy() AdmissionPolicy { return c.policy }
+
+// TryAcquire claims an execution slot. A refusal is recorded as a shed;
+// the caller should answer 503 with Retry-After. A granted slot must be
+// released with exactly one of ReleaseShed or ReleaseDone.
+func (c *Controller) TryAcquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight >= c.intLimit() {
+		c.shed++
+		return false
+	}
+	c.inflight++
+	return true
+}
+
+// ReleaseShed returns a slot whose query was rejected by the cost gate
+// after acquisition. It counts as a shed, not an admission, and carries no
+// latency signal (the query never ran).
+func (c *Controller) ReleaseShed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight--
+	c.shed++
+}
+
+// ReleaseDone returns a slot whose query executed. elapsed and units
+// calibrate the cost model; elapsed vs Target drives the AIMD limit;
+// degraded marks queries the cost gate forced to serial execution.
+func (c *Controller) ReleaseDone(elapsed time.Duration, units float64, degraded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.inflight--
+	c.admitted++
+	if degraded {
+		c.degraded++
+	}
+	if units > 0 && elapsed > 0 {
+		obs := float64(elapsed.Nanoseconds()) / units
+		if c.nsPerUnit == 0 {
+			c.nsPerUnit = obs
+		} else {
+			c.nsPerUnit = ewmaAlpha*obs + (1-ewmaAlpha)*c.nsPerUnit
+		}
+	}
+	if elapsed > c.policy.Target {
+		if now := c.now(); now.Sub(c.lastDecrease) >= c.policy.DecreaseEvery {
+			c.lastDecrease = now
+			c.limit *= c.policy.DecreaseFactor
+			if c.limit < float64(c.policy.MinInflight) {
+				c.limit = float64(c.policy.MinInflight)
+			}
+		}
+	} else {
+		c.limit += 1 / c.limit
+		if c.limit > float64(c.policy.MaxInflight) {
+			c.limit = float64(c.policy.MaxInflight)
+		}
+	}
+}
+
+// PredictCost prices a query of the given cost units with the calibrated
+// model. Zero until the first completed query calibrates it — an
+// uncalibrated gate admits everything rather than guessing.
+func (c *Controller) PredictCost(units float64) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nsPerUnit == 0 || units <= 0 {
+		return 0
+	}
+	return time.Duration(c.nsPerUnit * units)
+}
+
+// Calibrate force-sets the cost model (tests and warm restarts).
+func (c *Controller) Calibrate(nsPerUnit float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nsPerUnit = nsPerUnit
+}
+
+// UnderPressure reports whether at least half the concurrency limit is in
+// use — the threshold past which the cost gate starts downgrading
+// expensive-but-feasible queries to serial execution instead of letting
+// them fan out across the worker pool.
+func (c *Controller) UnderPressure() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return 2*c.inflight >= c.intLimit()
+}
+
+// RetryAfter is the backoff the server advertises on a shed: one Target
+// period, by which time the queue has turned over if the limiter is doing
+// its job.
+func (c *Controller) RetryAfter() time.Duration { return c.policy.Target }
+
+// intLimit floors the fractional limit for comparisons; callers hold c.mu.
+func (c *Controller) intLimit() int {
+	n := int(c.limit)
+	if n < c.policy.MinInflight {
+		n = c.policy.MinInflight
+	}
+	return n
+}
+
+// Limit returns the current adaptive concurrency limit.
+func (c *Controller) Limit() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit
+}
+
+// Inflight returns the number of slots currently held.
+func (c *Controller) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// Admitted returns the count of queries that executed to completion.
+func (c *Controller) Admitted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitted
+}
+
+// Shed returns the count of queries refused (at acquire or by the cost
+// gate).
+func (c *Controller) Shed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shed
+}
+
+// Degraded returns the count of queries forced to serial execution.
+func (c *Controller) Degraded() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}

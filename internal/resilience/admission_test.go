@@ -1,0 +1,177 @@
+package resilience
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionDefaults(t *testing.T) {
+	p := AdmissionPolicy{}.WithDefaults()
+	if p.MaxInflight <= 0 || p.MinInflight != 1 || p.Target != 250*time.Millisecond ||
+		p.DecreaseFactor != 0.5 || p.DecreaseEvery != p.Target {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+func TestTryAcquireEnforcesLimit(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 2, Target: time.Second})
+	if !c.TryAcquire() || !c.TryAcquire() {
+		t.Fatal("first two acquires must pass")
+	}
+	if c.TryAcquire() {
+		t.Fatal("third acquire must shed at limit 2")
+	}
+	if c.Shed() != 1 {
+		t.Fatalf("Shed = %d, want 1", c.Shed())
+	}
+	c.ReleaseDone(time.Millisecond, 0, false)
+	if !c.TryAcquire() {
+		t.Fatal("released slot must be reusable")
+	}
+	if c.Inflight() != 2 {
+		t.Fatalf("Inflight = %d, want 2", c.Inflight())
+	}
+}
+
+func TestAIMDDecreaseAndRecovery(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 8, Target: 10 * time.Millisecond, DecreaseEvery: time.Nanosecond})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = clk.now
+
+	// A slow completion halves the limit.
+	c.TryAcquire()
+	clk.advance(time.Second)
+	c.ReleaseDone(time.Second, 0, false)
+	if got := c.Limit(); got != 4 {
+		t.Fatalf("limit after slow query = %v, want 4", got)
+	}
+	// Fast completions climb back additively (+1/limit each).
+	for i := 0; i < 100; i++ {
+		c.TryAcquire()
+		c.ReleaseDone(time.Millisecond, 0, false)
+	}
+	if got := c.Limit(); got != 8 {
+		t.Fatalf("limit after recovery = %v, want cap 8", got)
+	}
+}
+
+func TestAIMDDecreaseSpacing(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 16, Target: time.Millisecond, DecreaseEvery: time.Hour})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = clk.now
+	for i := 0; i < 5; i++ {
+		c.TryAcquire()
+		c.ReleaseDone(time.Second, 0, false)
+	}
+	// Only the first slow query inside the spacing window may cut.
+	if got := c.Limit(); got != 8 {
+		t.Fatalf("limit = %v, want single cut to 8", got)
+	}
+	clk.advance(2 * time.Hour)
+	c.TryAcquire()
+	c.ReleaseDone(time.Second, 0, false)
+	if got := c.Limit(); got != 4 {
+		t.Fatalf("limit = %v, want second cut to 4 after window", got)
+	}
+}
+
+func TestLimitNeverBelowFloor(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 4, MinInflight: 1, Target: time.Millisecond, DecreaseEvery: time.Nanosecond})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = clk.now
+	for i := 0; i < 20; i++ {
+		c.TryAcquire()
+		clk.advance(time.Second)
+		c.ReleaseDone(time.Second, 0, false)
+	}
+	if got := c.Limit(); got < 1 {
+		t.Fatalf("limit = %v, fell below floor", got)
+	}
+	if !c.TryAcquire() {
+		t.Fatal("floor of 1 must still admit one query")
+	}
+}
+
+func TestCostModelCalibration(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 4, Target: time.Hour})
+	if c.PredictCost(1000) != 0 {
+		t.Fatal("uncalibrated model must predict 0")
+	}
+	// 1000 units took 1ms → 1000 ns/unit.
+	c.TryAcquire()
+	c.ReleaseDone(time.Millisecond, 1000, false)
+	if got := c.PredictCost(2000); got != 2*time.Millisecond {
+		t.Fatalf("PredictCost(2000) = %v, want 2ms", got)
+	}
+	// EWMA: a 10× slower observation moves the estimate by α=0.2.
+	c.TryAcquire()
+	c.ReleaseDone(10*time.Millisecond, 1000, false)
+	want := time.Duration(0.2*10000 + 0.8*1000)
+	if got := c.PredictCost(1); got != want {
+		t.Fatalf("PredictCost(1) = %v, want %v", got, want)
+	}
+}
+
+func TestReleaseShedCountsAndFreesSlot(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 1, Target: time.Second})
+	c.TryAcquire()
+	c.ReleaseShed()
+	if c.Shed() != 1 || c.Inflight() != 0 || c.Admitted() != 0 {
+		t.Fatalf("shed=%d inflight=%d admitted=%d, want 1/0/0", c.Shed(), c.Inflight(), c.Admitted())
+	}
+	if !c.TryAcquire() {
+		t.Fatal("slot not freed by ReleaseShed")
+	}
+}
+
+func TestUnderPressure(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 4, Target: time.Second})
+	if c.UnderPressure() {
+		t.Fatal("idle controller must not report pressure")
+	}
+	c.TryAcquire()
+	c.TryAcquire()
+	if !c.UnderPressure() {
+		t.Fatal("2/4 slots held must report pressure")
+	}
+}
+
+func TestDegradedCounter(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 4, Target: time.Hour})
+	c.TryAcquire()
+	c.ReleaseDone(time.Millisecond, 10, true)
+	if c.Degraded() != 1 || c.Admitted() != 1 {
+		t.Fatalf("degraded=%d admitted=%d, want 1/1", c.Degraded(), c.Admitted())
+	}
+}
+
+func TestControllerConcurrent(t *testing.T) {
+	c := NewController(AdmissionPolicy{MaxInflight: 8, Target: time.Hour})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if c.TryAcquire() {
+					if i%7 == 0 {
+						c.ReleaseShed()
+					} else {
+						c.ReleaseDone(time.Microsecond, 5, i%11 == 0)
+					}
+				}
+				c.PredictCost(100)
+				c.UnderPressure()
+				c.Limit()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Inflight() != 0 {
+		t.Fatalf("inflight = %d after all releases, want 0", c.Inflight())
+	}
+	if c.Admitted() == 0 || c.Shed() == 0 {
+		t.Fatalf("admitted=%d shed=%d, want both nonzero", c.Admitted(), c.Shed())
+	}
+}

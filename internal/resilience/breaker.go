@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed: traffic flows; failures are counted.
+	Closed BreakerState = iota
+	// Open: traffic is refused until the cooldown elapses.
+	Open
+	// HalfOpen: one probe is in flight; its outcome re-closes or re-opens
+	// the breaker.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerPolicy configures a Breaker. Zero values take the defaults from
+// WithDefaults.
+type BreakerPolicy struct {
+	Failures    int           // consecutive failures that trip Closed → Open
+	Cooldown    time.Duration // first Open period before a half-open probe
+	MaxCooldown time.Duration // ceiling for the doubling cooldown
+}
+
+// WithDefaults fills unset fields: trip after 1 failure (the WAL layer has
+// already exhausted its own retries by the time the breaker sees an error),
+// 1s first cooldown, 30s ceiling.
+func (p BreakerPolicy) WithDefaults() BreakerPolicy {
+	if p.Failures <= 0 {
+		p.Failures = 1
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = time.Second
+	}
+	if p.MaxCooldown <= 0 {
+		p.MaxCooldown = 30 * time.Second
+	}
+	if p.MaxCooldown < p.Cooldown {
+		p.MaxCooldown = p.Cooldown
+	}
+	return p
+}
+
+// Breaker is a classic three-state circuit breaker with exponential
+// cooldown. Callers ask Allow before attempting the protected operation and
+// report the outcome with Success or Failure. While Open, Allow refuses and
+// RetryAfter says how long clients should wait. After the cooldown, the
+// first Allow wins the single half-open probe slot; if that attempt
+// succeeds the breaker closes and the cooldown resets, if it fails the
+// breaker re-opens with a doubled cooldown. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	policy   BreakerPolicy
+	state    BreakerState
+	fails    int           // consecutive failures while Closed
+	cooldown time.Duration // current Open period
+	until    time.Time     // when the Open period ends
+	now      func() time.Time
+}
+
+// NewBreaker builds a Breaker with p (defaults applied).
+func NewBreaker(p BreakerPolicy) *Breaker {
+	p = p.WithDefaults()
+	return &Breaker{policy: p, cooldown: p.Cooldown, now: time.Now}
+}
+
+// Allow reports whether the caller may attempt the protected operation.
+// Closed always allows. Open allows nothing until the cooldown elapses,
+// then flips to HalfOpen and grants exactly one probe; subsequent callers
+// are refused until that probe reports.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = HalfOpen
+		return true
+	default: // HalfOpen: probe already granted
+		return false
+	}
+}
+
+// Success reports a successful protected operation. It closes the breaker
+// and resets the failure count and cooldown.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.fails = 0
+	b.cooldown = b.policy.Cooldown
+}
+
+// Failure reports a failed protected operation. From Closed it counts
+// toward the trip threshold; from HalfOpen it re-opens immediately with a
+// doubled cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.cooldown *= 2
+		if b.cooldown > b.policy.MaxCooldown {
+			b.cooldown = b.policy.MaxCooldown
+		}
+		b.open()
+	default:
+		b.fails++
+		if b.fails >= b.policy.Failures {
+			b.open()
+		}
+	}
+}
+
+// open transitions to Open; callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = Open
+	b.fails = 0
+	b.until = b.now().Add(b.cooldown)
+}
+
+// State returns the breaker's current position, advancing Open → HalfOpen
+// is NOT done here; State is a pure observer.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// RetryAfter returns how long until the breaker will next grant a probe:
+// zero when Closed, the remaining cooldown when Open, and the full current
+// cooldown when HalfOpen (pessimistic: assume the in-flight probe fails).
+func (b *Breaker) RetryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return 0
+	case Open:
+		if d := b.until.Sub(b.now()); d > 0 {
+			return d
+		}
+		return 0
+	default:
+		return b.cooldown
+	}
+}

@@ -1,0 +1,120 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(p BreakerPolicy) (*Breaker, *fakeClock) {
+	b := NewBreaker(p)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripAndCooldown(t *testing.T) {
+	b, clk := newTestBreaker(BreakerPolicy{Failures: 2, Cooldown: time.Second})
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state after 1/2 failures = %v, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after 2/2 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse inside cooldown")
+	}
+	if ra := b.RetryAfter(); ra <= 0 || ra > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s]", ra)
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("breaker must grant a probe after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller must not get a probe while one is in flight")
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	b, clk := newTestBreaker(BreakerPolicy{Failures: 1, Cooldown: time.Second})
+	b.Failure()
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Success()
+	if b.State() != Closed || b.RetryAfter() != 0 {
+		t.Fatalf("state=%v retryAfter=%v, want closed/0", b.State(), b.RetryAfter())
+	}
+	// Cooldown must have reset: next trip waits the base period again.
+	b.Failure()
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown did not reset after successful probe")
+	}
+}
+
+func TestBreakerProbeFailureDoublesCooldown(t *testing.T) {
+	b, clk := newTestBreaker(BreakerPolicy{Failures: 1, Cooldown: time.Second, MaxCooldown: 3 * time.Second})
+	b.Failure()
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure() // probe fails → re-open with 2s cooldown
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.advance(1100 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("breaker re-opened with doubled cooldown must still refuse at 1.1s")
+	}
+	clk.advance(1 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after doubled cooldown elapsed")
+	}
+	b.Failure() // doubles to 4s, capped at 3s
+	clk.advance(3100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown must cap at MaxCooldown")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b, _ := newTestBreaker(BreakerPolicy{Failures: 3, Cooldown: time.Second})
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("non-consecutive failures tripped the breaker: %v", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("three consecutive failures must trip")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	p := BreakerPolicy{}.WithDefaults()
+	if p.Failures != 1 || p.Cooldown != time.Second || p.MaxCooldown != 30*time.Second {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p := (BreakerPolicy{Cooldown: time.Minute}).WithDefaults(); p.MaxCooldown != time.Minute {
+		t.Fatalf("MaxCooldown must rise to Cooldown, got %v", p.MaxCooldown)
+	}
+}

@@ -1,0 +1,88 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.Max != 4 || p.Base != time.Millisecond || p.Cap != 50*time.Millisecond {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p := (RetryPolicy{Max: -1}).WithDefaults(); p.Max != 0 {
+		t.Fatalf("Max -1 should disable retries, got %d", p.Max)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{Max: 10, Base: time.Millisecond, Cap: 8 * time.Millisecond}
+	want := []time.Duration{1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := p.Backoff(i, nil); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterBounded(t *testing.T) {
+	p := RetryPolicy{Base: 10 * time.Millisecond, Cap: 10 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		d := p.Backoff(0, rng)
+		if d < 10*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [10ms, 15ms]", d)
+		}
+	}
+}
+
+func TestRetryerEventualSuccess(t *testing.T) {
+	r := NewRetryer(RetryPolicy{Max: 3, Base: time.Microsecond}, 1)
+	r.sleep = func(time.Duration) {}
+	calls, retries := 0, 0
+	err := r.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, func(error) error { retries++; return nil })
+	if err != nil || calls != 3 || retries != 2 {
+		t.Fatalf("err=%v calls=%d retries=%d, want nil/3/2", err, calls, retries)
+	}
+}
+
+func TestRetryerExhaustsAndReturnsLastError(t *testing.T) {
+	r := NewRetryer(RetryPolicy{Max: 2, Base: time.Microsecond}, 1)
+	r.sleep = func(time.Duration) {}
+	calls := 0
+	last := errors.New("still broken")
+	err := r.Do(func() error { calls++; return last }, nil)
+	if !errors.Is(err, last) || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want last error after 3 calls", err, calls)
+	}
+}
+
+func TestRetryerAbortsWhenRetriedFails(t *testing.T) {
+	r := NewRetryer(RetryPolicy{Max: 5, Base: time.Microsecond}, 1)
+	r.sleep = func(time.Duration) {}
+	calls := 0
+	fatal := errors.New("rewind failed")
+	err := r.Do(func() error { calls++; return errors.New("transient") },
+		func(error) error { return fatal })
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want rewind error after 1 call", err, calls)
+	}
+}
+
+func TestRetryerZeroMaxSingleAttempt(t *testing.T) {
+	r := NewRetryer(RetryPolicy{Max: -1}, 1)
+	r.sleep = func(time.Duration) {}
+	calls := 0
+	boom := errors.New("boom")
+	if err := r.Do(func() error { calls++; return boom }, nil); !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want single attempt", err, calls)
+	}
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spatialsel/internal/faultfs"
+	"spatialsel/internal/resilience"
+	"spatialsel/internal/telemetry"
+)
+
+// postJSON posts body and returns the response with its body closed — these
+// tests care about status codes and headers, not payloads.
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func pairQuery() QueryRequest {
+	return QueryRequest{Tables: []string{"qa", "qb"}, Predicates: [][2]string{{"qa", "qb"}}}
+}
+
+func TestAdmissionCostGateShedsDoomedQueries(t *testing.T) {
+	s, ts := newTestServer(t, Config{Admission: true, RequestTimeout: 2 * time.Second})
+	createTable(t, ts.URL, "qa", "uniform", 400, 1, false)
+	createTable(t, ts.URL, "qb", "uniform", 400, 2, false)
+
+	// Uncalibrated, the cost gate admits everything rather than guessing.
+	if resp := postJSON(t, ts.URL+"/v1/query", pairQuery()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("uncalibrated query status = %d, want 200", resp.StatusCode)
+	}
+	waitCounter(t, s.Admission().Admitted, 1)
+
+	// Price the model so one cost unit costs ~17 minutes: every query is now
+	// predicted to blow the 2s deadline and must be shed at arrival.
+	s.Admission().Calibrate(1e12)
+	resp := postJSON(t, ts.URL+"/v1/query", pairQuery())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("doomed query status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want positive whole seconds", ra)
+	}
+	waitCounter(t, s.Admission().Shed, 1)
+	if m := fetchMetrics(t, ts.URL); !strings.Contains(m, "sdbd_admission_shed_total 1") {
+		t.Fatal("metrics missing sdbd_admission_shed_total 1")
+	}
+
+	// Un-calibrating re-opens the gate: the decision is driven purely by the
+	// cost model, not sticky state.
+	s.Admission().Calibrate(0)
+	if resp := postJSON(t, ts.URL+"/v1/query", pairQuery()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after recalibration = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestAdmissionConcurrencyLimitSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{Admission: true, MaxInflight: 1})
+	createTable(t, ts.URL, "qa", "uniform", 200, 1, false)
+	createTable(t, ts.URL, "qb", "uniform", 200, 2, false)
+
+	// Hold the single slot; the next query must be refused at the door.
+	if !s.Admission().TryAcquire() {
+		t.Fatal("could not take the only slot on an idle server")
+	}
+	resp := postJSON(t, ts.URL+"/v1/query", pairQuery())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query at limit = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	s.Admission().ReleaseShed()
+
+	if resp := postJSON(t, ts.URL+"/v1/query", pairQuery()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after slot freed = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestAdmissionDowngradesToSerialUnderPressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Admission:       true,
+		MaxInflight:     2,
+		AdmissionTarget: time.Nanosecond, // everything is "expensive"
+		EnableTelemetry: true,
+		Telemetry:       telemetry.Options{SampleN: 1}, // retain every request
+	})
+	createTable(t, ts.URL, "qa", "uniform", 400, 1, false)
+	createTable(t, ts.URL, "qb", "uniform", 400, 2, false)
+
+	// Calibrated cheap: predicted cost clears the 30s deadline easily but
+	// exceeds the 1ns target, and with limit 2 a single running query already
+	// counts as pressure — so the gate downgrades instead of shedding.
+	s.Admission().Calibrate(10)
+	if resp := postJSON(t, ts.URL+"/v1/query", pairQuery()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("downgraded query status = %d, want 200", resp.StatusCode)
+	}
+	waitCounter(t, s.Admission().Degraded, 1)
+
+	// The flight recorder's wide event shows the verdict and the forced
+	// serial execution.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		evs := s.Telemetry().Flight().Query(telemetry.FlightQuery{Route: "query", Limit: 1})
+		if len(evs) == 1 {
+			if evs[0].Admission != telemetry.AdmissionDegraded || evs[0].Workers != 1 {
+				t.Fatalf("event admission=%q workers=%d, want degraded/1", evs[0].Admission, evs[0].Workers)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query event never reached the flight recorder")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitCounter polls an admission counter until it reaches want — the slot is
+// released in the handler's defer, which can run after the client already
+// has the response.
+func waitCounter(t *testing.T, get func() uint64, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for get() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter = %d, want %d", get(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWALDegradedModeOverHTTP(t *testing.T) {
+	inj := faultfs.NewInjector(faultfs.Disk(), 7)
+	s, ts := newTestServer(t, Config{
+		WALDir:     t.TempDir(),
+		WALFS:      inj,
+		WALRetry:   resilience.RetryPolicy{Max: -1},
+		WALBreaker: resilience.BreakerPolicy{Failures: 1, Cooldown: time.Millisecond, MaxCooldown: 4 * time.Millisecond},
+	})
+	createTable(t, ts.URL, "wt", "uniform", 300, 3, false)
+	createTable(t, ts.URL, "wo", "uniform", 300, 4, false)
+
+	ins := InsertRequest{Items: [][4]float64{{0.1, 0.1, 0.2, 0.2}}}
+	if resp := postJSON(t, ts.URL+"/v1/tables/wt/insert", ins); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy insert = %d, want 200", resp.StatusCode)
+	}
+
+	// Persistent fsync failure: mutations answer 503 + Retry-After while the
+	// table serves reads from its last durable snapshot.
+	inj.Add(faultfs.Fault{Op: faultfs.OpSync})
+	resp := postJSON(t, ts.URL+"/v1/tables/wt/insert", ins)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert on degraded table = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("degraded insert Retry-After = %q, want positive", ra)
+	}
+	if resp := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Left: "wt", Right: "wo"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate during degraded mode = %d, want 200", resp.StatusCode)
+	}
+	var info TableInfo
+	if code := doJSON(t, http.MethodGet, ts.URL+"/v1/tables/wt", nil, &info); code != http.StatusOK || info.Items != 301 {
+		t.Fatalf("read during degraded mode = %d items (status %d), want 301", info.Items, code)
+	}
+	if m := fetchMetrics(t, ts.URL); !strings.Contains(m, "sdbd_wal_degraded_tables 1") {
+		t.Fatal("metrics missing sdbd_wal_degraded_tables 1")
+	}
+	if got := s.Ingest().DegradedTables(); len(got) != 1 || got[0] != "wt" {
+		t.Fatalf("DegradedTables = %v, want [wt]", got)
+	}
+
+	// Fault clears: the breaker's probe re-arms writes.
+	inj.Clear()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := postJSON(t, ts.URL+"/v1/tables/wt/insert", ins)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("recovery insert = %d, want 503 until probe lands", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("table never recovered over HTTP after fault cleared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.Ingest().DegradedTables(); len(got) != 0 {
+		t.Fatalf("DegradedTables after recovery = %v, want none", got)
+	}
+}

@@ -43,14 +43,25 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // decodeJSON reads a request body into v, rejecting unknown fields so typos
-// in client payloads fail loudly instead of being ignored.
-func decodeJSON(r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 32<<20))
+// in client payloads fail loudly instead of being ignored. The ResponseWriter
+// must be the real one: MaxBytesReader uses it to disable keep-alive on the
+// connection once the limit is blown.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
+}
+
+// writeOverloaded answers a shed query: 503 with the admission controller's
+// suggested backoff in the Retry-After header. Callers hold a non-nil
+// s.admission.
+func (s *Server) writeOverloaded(w http.ResponseWriter, reason string) {
+	ra := s.admission.RetryAfter()
+	w.Header().Set("Retry-After", retryAfterSeconds(ra))
+	writeError(w, http.StatusServiceUnavailable, "query shed: %s; retry after %s", reason, ra)
 }
 
 // resolveWorkers maps a request's workers field onto the effective executor
@@ -184,7 +195,7 @@ func generate(name string, g *GeneratorSpec) (*dataset.Dataset, error) {
 
 func (s *Server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	var req CreateTableRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -311,7 +322,7 @@ type EstimateResponse struct {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -532,7 +543,7 @@ type ExplainResponse struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var qs QuerySpec
-	if err := decodeJSON(r, &qs); err != nil {
+	if err := decodeJSON(w, r, &qs); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -596,7 +607,7 @@ type QueryResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -606,8 +617,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	snap := s.store.Snapshot()
+	ri := telemetry.InfoFrom(r.Context())
 	qs := QuerySpec{Tables: req.Tables, Predicates: req.Predicates, Windows: req.Windows}
 	q := qs.toQuery()
+
+	// Admission stage 1: the adaptive concurrency limit. A refusal here is
+	// pure backpressure — the query was never priced or planned.
+	var (
+		shedByCost   bool
+		costUnits    float64
+		degradedExec bool
+	)
+	if s.admission != nil {
+		if !s.admission.TryAcquire() {
+			ri.SetAdmission(telemetry.AdmissionShed)
+			s.writeOverloaded(w, "server at its concurrency limit")
+			return
+		}
+		defer func() {
+			if shedByCost {
+				s.admission.ReleaseShed()
+			} else {
+				s.admission.ReleaseDone(time.Since(start), costUnits, degradedExec)
+			}
+		}()
+	}
 
 	// ?analyze=1 installs a trace root; the executor's operator spans hang
 	// off it. Without the flag no trace exists and the engine's StartSpan
@@ -624,11 +658,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusForError(err), "%v", err)
 		return
 	}
-	planSp.Set("est_rows", plan.Steps[len(plan.Steps)-1].EstRows)
+	estRows := plan.Steps[len(plan.Steps)-1].EstRows
+	planSp.Set("est_rows", estRows)
 	planSp.Set("est_cost", plan.EstCost)
 	planSp.End()
 
+	// Admission stage 2: the cost gate. The query's abstract cost is the
+	// GH estimate of the result size plus the I/O model's predicted index
+	// accesses for the driving join — the same numbers EXPLAIN reports —
+	// priced with the calibrated ns/unit model. Work that cannot finish
+	// inside its deadline is shed at arrival instead of timing out after
+	// burning a worker pool; feasible-but-expensive work under pressure is
+	// downgraded to serial execution so it cannot monopolize the pool.
+	if s.admission != nil {
+		costUnits = estRows
+		base, errB := snap.Catalog.Table(plan.Base)
+		first, errF := snap.Catalog.Table(plan.Steps[0].Table)
+		if errB == nil && errF == nil {
+			costUnits += iomodel.JoinAccesses(base.Index.LevelStats(), first.Index.LevelStats())
+		}
+		pred := s.admission.PredictCost(costUnits)
+		if dl, ok := ctx.Deadline(); ok && pred > time.Until(dl) {
+			shedByCost = true
+			ri.SetAdmission(telemetry.AdmissionShed)
+			s.writeOverloaded(w, fmt.Sprintf(
+				"predicted cost %s exceeds the request deadline", pred.Round(time.Millisecond)))
+			return
+		}
+		switch {
+		case pred > s.admission.Policy().Target && s.admission.UnderPressure():
+			degradedExec = true
+			ri.SetAdmission(telemetry.AdmissionDegraded)
+		default:
+			ri.SetAdmission(telemetry.AdmissionAdmitted)
+		}
+	}
+
 	plan.Workers = s.resolveWorkers(req.Workers)
+	if degradedExec {
+		plan.Workers = 1
+	}
 	res, err := plan.ExecuteContext(ctx)
 	if err != nil {
 		writeError(w, statusForError(err), "%v", err)
@@ -641,10 +710,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// cardinality estimate (which already accounts for windows) against the
 	// materialized row count — and, with telemetry on, the drift watchdog's
 	// windowed per-pair quantile sketches.
-	ri := telemetry.InfoFrom(ctx)
 	ri.SetTables(req.Tables)
 	ri.SetWorkers(plan.Workers)
-	estRows := plan.Steps[len(plan.Steps)-1].EstRows
 	ri.SetEstRows(estRows)
 	if actual := float64(res.Len()); actual > 0 {
 		d := estRows - actual

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"errors"
 	"net/http"
+	"strconv"
+	"time"
 
 	"spatialsel/internal/geom"
 	"spatialsel/internal/ingest"
@@ -41,6 +44,16 @@ type MutateResponse struct {
 	Durable    bool   `json:"durable"`
 }
 
+// retryAfterSeconds renders a backoff for the Retry-After header: whole
+// seconds, rounded up so sub-second backoffs don't advertise "0".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func rectsFromWire(items [][4]float64) []geom.Rect {
 	rects := make([]geom.Rect, len(items))
 	for i, r := range items {
@@ -65,6 +78,15 @@ func (s *Server) applyMutation(w http.ResponseWriter, r *http.Request, m ingest.
 	}
 	res, err := tab.Apply(m)
 	if err != nil {
+		// A degraded table is a server-side condition, not a bad request: the
+		// client gets 503 with the breaker's probe backoff as Retry-After,
+		// while reads keep serving the last durable snapshot.
+		var derr *ingest.DegradedError
+		if errors.As(err, &derr) {
+			w.Header().Set("Retry-After", retryAfterSeconds(derr.RetryAfter))
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -81,7 +103,7 @@ func (s *Server) applyMutation(w http.ResponseWriter, r *http.Request, m ingest.
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req InsertRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -94,7 +116,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	var req DeleteRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -107,7 +129,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := decodeJSON(r, &req); err != nil {
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -4,7 +4,9 @@ import (
 	"strconv"
 	"time"
 
+	"spatialsel/internal/ingest"
 	"spatialsel/internal/obs"
+	"spatialsel/internal/resilience"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-duration
@@ -71,6 +73,35 @@ func (m *Metrics) registerSampled(cache *EstimateCache, store *Store) {
 		func() float64 { return float64(cache.Len()) })
 	m.reg.GaugeFunc("sdbd_tables", "Registered tables.",
 		func() float64 { return float64(len(store.Snapshot().Catalog.Names())) })
+}
+
+// registerAdmission exposes the admission controller's decision counters and
+// live limit. Counters are sampled from the controller at render time: the
+// controller is the single source of truth, so the gate's hot path never
+// touches the registry.
+func (m *Metrics) registerAdmission(c *resilience.Controller) {
+	m.reg.CounterFunc("sdbd_admission_admitted_total",
+		"Queries admitted and executed to completion.",
+		func() float64 { return float64(c.Admitted()) })
+	m.reg.CounterFunc("sdbd_admission_shed_total",
+		"Queries refused with 503 by the concurrency limit or the cost gate.",
+		func() float64 { return float64(c.Shed()) })
+	m.reg.CounterFunc("sdbd_admission_degraded_total",
+		"Queries the cost gate forced to serial execution under pressure.",
+		func() float64 { return float64(c.Degraded()) })
+	m.reg.GaugeFunc("sdbd_admission_limit",
+		"Current adaptive concurrency limit (AIMD).",
+		func() float64 { return c.Limit() })
+	m.reg.GaugeFunc("sdbd_admission_inflight",
+		"Query slots currently held by admitted queries.",
+		func() float64 { return float64(c.Inflight()) })
+}
+
+// registerIngest exposes the WAL degraded set's size.
+func (m *Metrics) registerIngest(mgr *ingest.Manager) {
+	m.reg.GaugeFunc("sdbd_wal_degraded_tables",
+		"Tables currently in read-only degraded mode after persistent WAL failure.",
+		func() float64 { return float64(len(mgr.DegradedTables())) })
 }
 
 // merge adds a registry to the exposition, after the request registry and

@@ -8,8 +8,10 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"spatialsel/internal/faultfs"
 	"spatialsel/internal/ingest"
 	"spatialsel/internal/obs"
+	"spatialsel/internal/resilience"
 	"spatialsel/internal/sdb"
 	"spatialsel/internal/telemetry"
 )
@@ -50,6 +52,29 @@ type Config struct {
 	// Repack tunes the background re-pack policy for mutated tables; zero
 	// values take the ingest package defaults.
 	Repack ingest.RepackPolicy
+	// Admission enables the estimate-driven admission gate on /v1/query: an
+	// adaptive concurrency limit plus a cost gate that prices each query with
+	// the calibrated GH-estimate cost model and sheds (503 + Retry-After) or
+	// downgrades-to-serial work that cannot finish inside its deadline.
+	Admission bool
+	// MaxInflight caps the adaptive concurrency limit (0 = 4×GOMAXPROCS).
+	MaxInflight int
+	// AdmissionTarget is the latency the limiter steers admitted queries
+	// toward. 0 uses the telemetry slow-query threshold when telemetry is
+	// configured, else the resilience default (250ms).
+	AdmissionTarget time.Duration
+	// WALFS is the filesystem write-ahead logs live on; nil means the real
+	// disk. Tests inject a faultfs.Injector here.
+	WALFS faultfs.FS
+	// WALRetry bounds WAL write/fsync retries; zero values take the
+	// resilience defaults (4 retries, exponential backoff with jitter).
+	WALRetry resilience.RetryPolicy
+	// WALBreaker paces degraded-mode write probes; zero values take defaults.
+	WALBreaker resilience.BreakerPolicy
+	// WALFailStop restores the pre-resilience behavior: the first persistent
+	// WAL failure poisons the table instead of flipping it into read-only
+	// degraded mode (sdbd -degraded-read-only=false).
+	WALFailStop bool
 	// EnableTelemetry turns on the continuous-evidence layer: a background
 	// metric scraper with ring-buffer history, a per-request flight recorder,
 	// and the estimator-drift watchdog, queryable at /v1/debug/timeseries and
@@ -70,7 +95,8 @@ type Server struct {
 	ingest         *ingest.Manager
 	cache          *EstimateCache
 	metrics        *Metrics
-	telemetry      *telemetry.Telemetry // nil when disabled
+	admission      *resilience.Controller // nil when disabled
+	telemetry      *telemetry.Telemetry   // nil when disabled
 	logger         *slog.Logger
 	requestTimeout time.Duration
 	maxResultRows  int
@@ -112,8 +138,12 @@ func New(cfg Config) (*Server, error) {
 		Lookup: func(name string) (*sdb.Table, error) {
 			return store.Snapshot().Catalog.Table(name)
 		},
-		Publish: store.Publish,
-		Repack:  cfg.Repack,
+		Publish:  store.Publish,
+		Repack:   cfg.Repack,
+		FS:       cfg.WALFS,
+		Retry:    cfg.WALRetry,
+		Breaker:  cfg.WALBreaker,
+		FailStop: cfg.WALFailStop,
 	})
 	s := &Server{
 		store:          store,
@@ -128,6 +158,18 @@ func New(cfg Config) (*Server, error) {
 		started:        time.Now(),
 	}
 	s.metrics.registerSampled(s.cache, s.store)
+	s.metrics.registerIngest(manager)
+	if cfg.Admission {
+		target := cfg.AdmissionTarget
+		if target == 0 {
+			target = cfg.Telemetry.SlowQuery
+		}
+		s.admission = resilience.NewController(resilience.AdmissionPolicy{
+			MaxInflight: cfg.MaxInflight,
+			Target:      target,
+		})
+		s.metrics.registerAdmission(s.admission)
+	}
 	if cfg.EnableTelemetry {
 		// The scraper samples exactly what /metrics exposes (request
 		// registry, the telemetry layer's own instruments, engine defaults),
@@ -206,6 +248,10 @@ func (s *Server) Ingest() *ingest.Manager { return s.ingest }
 // its scrape loop (Telemetry().Run is nil-safe); tests drive Tick directly.
 func (s *Server) Telemetry() *telemetry.Telemetry { return s.telemetry }
 
+// Admission exposes the query admission controller, nil when disabled.
+// benchrun's overload scenario calibrates it; tests assert its counters.
+func (s *Server) Admission() *resilience.Controller { return s.admission }
+
 // ListenAndServe serves on addr until ctx is cancelled, then shuts down
 // gracefully, letting in-flight requests finish within grace.
 func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
@@ -213,6 +259,11 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Dur
 		Addr:              addr,
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
+		// Bound what one connection can cost before a handler ever runs: 1MiB
+		// of headers (the default, made explicit) and two idle minutes before
+		// a kept-alive connection is reclaimed.
+		MaxHeaderBytes: 1 << 20,
+		IdleTimeout:    2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

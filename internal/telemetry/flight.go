@@ -26,6 +26,7 @@ type Event struct {
 	Reason         string          `json:"reason"` // why it was retained
 	Panic          bool            `json:"panic,omitempty"`
 	Workers        int             `json:"workers,omitempty"`
+	Admission      string          `json:"admission,omitempty"` // admitted, degraded, shed
 	Tables         []string        `json:"tables,omitempty"`
 	Rows           int             `json:"rows,omitempty"`
 	EstRows        *float64        `json:"est_rows,omitempty"`
@@ -40,6 +41,13 @@ const (
 	ReasonError  = "error"
 	ReasonSlow   = "slow"
 	ReasonSample = "sample"
+)
+
+// Admission verdicts recorded on query events.
+const (
+	AdmissionAdmitted = "admitted"
+	AdmissionDegraded = "degraded"
+	AdmissionShed     = "shed"
 )
 
 // FlightRecorder is a bounded ring of retained request events with
@@ -188,15 +196,16 @@ func (f *FlightRecorder) Query(q FlightQuery) []Event {
 // All setters are nil-safe, mirroring obs.Span: handler code calls them
 // unconditionally and pays nothing when telemetry is off.
 type RequestInfo struct {
-	mu       sync.Mutex
-	tables   []string
-	workers  int
-	rows     int
-	estRows  float64
-	hasEst   bool
-	relError float64
-	hasRel   bool
-	cacheHit bool
+	mu        sync.Mutex
+	tables    []string
+	workers   int
+	admission string
+	rows      int
+	estRows   float64
+	hasEst    bool
+	relError  float64
+	hasRel    bool
+	cacheHit  bool
 }
 
 type infoCtxKey struct{}
@@ -230,6 +239,16 @@ func (ri *RequestInfo) SetWorkers(workers int) {
 	}
 	ri.mu.Lock()
 	ri.workers = workers
+	ri.mu.Unlock()
+}
+
+// SetAdmission records the admission gate's verdict for this request.
+func (ri *RequestInfo) SetAdmission(verdict string) {
+	if ri == nil {
+		return
+	}
+	ri.mu.Lock()
+	ri.admission = verdict
 	ri.mu.Unlock()
 }
 
@@ -284,6 +303,7 @@ func (ri *RequestInfo) Fill(ev *Event) {
 	defer ri.mu.Unlock()
 	ev.Tables = ri.tables
 	ev.Workers = ri.workers
+	ev.Admission = ri.admission
 	ev.Rows = ri.rows
 	if ri.hasEst {
 		v := ri.estRows
