@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race race-all chaos vet lint cover bench microbench experiments examples clean
+.PHONY: all ci check build test race race-all chaos vet lint cover bench microbench experiments examples clean
 
 all: check
 
@@ -8,6 +8,11 @@ all: check
 # gofmt), run the full test suite, then race-check the concurrent packages
 # (the HTTP server and the mini-DBMS it serves).
 check: build lint test race
+
+# CI entry point: everything a merge must pass in one target — the default
+# verification path (build, lint, tests, scoped -race) plus the short
+# fault-injection chaos suite.
+ci: check chaos
 
 build:
 	$(GO) build ./...

@@ -60,21 +60,6 @@ type WorkloadReport struct {
 	Methods     map[string]MethodReport `json:"methods"`
 }
 
-// JoinKernelReport compares the serial and parallel R-tree join kernels on
-// the workload's index pair — the raw pair enumeration, with no row
-// materialization or filters, so the speedup isolates the join itself. The
-// run fails if the two kernels disagree on the pair count.
-type JoinKernelReport struct {
-	Workers        int         `json:"workers"`
-	SerialMicros   Percentiles `json:"serial_micros"`
-	ParallelMicros Percentiles `json:"parallel_micros"`
-	// Speedup is serial p50 over parallel p50; expect ≥ 2 on ≥ 4 cores, ~1
-	// on a single-CPU host where the pool only adds scheduling overhead.
-	Speedup     float64 `json:"speedup"`
-	Pairs       int     `json:"pairs"`
-	CountsMatch bool    `json:"counts_match"`
-}
-
 // MethodReport is one estimator's accuracy and cost on one workload.
 type MethodReport struct {
 	Estimate  float64     `json:"estimate"`
@@ -175,9 +160,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *workers <= 0 {
-		*workers = runtime.GOMAXPROCS(0)
-	}
+	// Resolve the knob exactly the way the join kernels do, so the snapshot's
+	// workers field records the pool size measurements actually used.
+	*workers = rtree.ResolveJoinWorkers(*workers)
 
 	before := obs.Default.Snapshot()
 	rep := Report{
@@ -198,9 +183,9 @@ func run(args []string) error {
 			return fmt.Errorf("workload %s: %w", w.name, err)
 		}
 		rep.Workloads = append(rep.Workloads, wr)
-		fmt.Fprintf(os.Stderr, "%-20s actual=%d join_p50=%dµs gh_err=%.3f speedup=%.2fx\n",
+		fmt.Fprintf(os.Stderr, "%-20s actual=%d join_p50=%dµs gh_err=%.3f packed=%.2fx workers=%d\n",
 			w.name, wr.ActualPairs, wr.JoinMicros.P50, wr.Methods["gh"].RelError,
-			wr.JoinKernel.Speedup)
+			wr.JoinKernel.PackedSpeedup, wr.JoinKernel.Workers)
 	}
 
 	// Mixed read/write workload: throughput, WAL fsync latency, and the
@@ -301,7 +286,7 @@ func runWorkload(w workload, scale float64, level, iters int, fraction float64, 
 	}
 	wr.JoinMicros = percentiles(joinTimes)
 
-	kernel, err := runJoinKernel(tl, tr, workers, iters)
+	kernel, err := measureJoinKernel(tl, tr, workers, iters)
 	if err != nil {
 		return WorkloadReport{}, err
 	}
@@ -315,40 +300,6 @@ func runWorkload(w workload, scale float64, level, iters int, fraction float64, 
 		wr.Methods[m] = mr
 	}
 	return wr, nil
-}
-
-// runJoinKernel times the serial and parallel R-tree join kernels on the same
-// index pair and verifies they agree on the exact pair count — the
-// correctness gate that makes the speedup number trustworthy.
-func runJoinKernel(a, b *sdb.Table, workers, iters int) (JoinKernelReport, error) {
-	serialTimes := make([]int64, 0, iters)
-	serialPairs := 0
-	for i := 0; i < iters; i++ {
-		start := time.Now()
-		serialPairs = rtree.JoinCount(a.Index, b.Index)
-		serialTimes = append(serialTimes, time.Since(start).Microseconds())
-	}
-	parTimes := make([]int64, 0, iters)
-	parPairs := 0
-	for i := 0; i < iters; i++ {
-		start := time.Now()
-		parPairs = rtree.JoinCountParallel(a.Index, b.Index, workers)
-		parTimes = append(parTimes, time.Since(start).Microseconds())
-	}
-	k := JoinKernelReport{
-		Workers:        workers,
-		SerialMicros:   percentiles(serialTimes),
-		ParallelMicros: percentiles(parTimes),
-		Pairs:          serialPairs,
-		CountsMatch:    serialPairs == parPairs,
-	}
-	if p := k.ParallelMicros.P50; p > 0 {
-		k.Speedup = float64(k.SerialMicros.P50) / float64(p)
-	}
-	if !k.CountsMatch {
-		return k, fmt.Errorf("parallel join counted %d pairs, serial %d", parPairs, serialPairs)
-	}
-	return k, nil
 }
 
 // runMethod times build+estimate end to end — for sampling estimators the

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"spatialsel/internal/rtree"
+	"spatialsel/internal/sdb"
+)
+
+func BenchmarkWorkloadKernels(b *testing.B) {
+	for i, w := range workloads {
+		nl, nr := int(float64(w.nLeft)*0.1), int(float64(w.nRight)*0.1)
+		c, _ := sdb.NewCatalogAtLevel(5)
+		dl, dr := w.left(nl, int64(i+1)), w.right(nr, int64(i+1)+100)
+		dl.Name, dr.Name = "l", "r"
+		tl, err := c.Create(dl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := c.Create(dr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(w.name+"/pointer", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rtree.JoinCount(tl.Index, tr.Index)
+			}
+		})
+		b.Run(w.name+"/packed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rtree.PackedJoinCount(tl.Packed, tr.Packed)
+			}
+		})
+	}
+}

@@ -66,6 +66,22 @@ func RegisterTelemetry(r *obs.Registry) {
 	r.Counter("sdbd_ingest_drift_hints_total", "re-pack hints from the watchdog")
 }
 
+// RegisterPacked pins the packed-snapshot kernel's metric families as
+// conforming: the rtree packed build/join accounting, the executor's
+// kernel-selection counter, and the store's publish-time pack counter,
+// labeled exactly as those layers register them. (clean)
+func RegisterPacked(r *obs.Registry) {
+	r.Counter("rtree_packed_builds_total", "packed snapshot images built")
+	r.FloatCounter("rtree_packed_build_seconds_total", "seconds spent packing")
+	r.Counter("rtree_packed_joins_total", "packed join kernel invocations")
+	r.Counter("rtree_packed_node_visits_total", "node pairs visited by the packed kernel")
+	r.Counter("rtree_packed_leaf_compares_total", "item lanes evaluated by the packed kernel")
+	r.Counter("rtree_packed_output_pairs_total", "pairs emitted by the packed kernel")
+	r.Counter("rtree_packed_cancel_polls_total", "cancellation polls in the packed kernel")
+	r.Counter("sdb_exec_packed_joins_total", "executor joins routed to the packed kernel")
+	r.Counter("sdbd_packed_publishes_total", "tables packed at publish time")
+}
+
 // RegisterResilience pins the resilience subsystem's metric families as
 // conforming: the admission gate's decision counters and gauges, and the WAL
 // fault-tolerance counters, labeled exactly as the server and ingest layers

@@ -7,10 +7,12 @@ import (
 )
 
 // Nearest returns the IDs of the k items whose rectangles are closest to p
-// in minimum Euclidean distance, nearest first (ties in unspecified order).
-// It implements the classic best-first traversal over a priority queue of
-// nodes and items ordered by MINDIST. Fewer than k results are returned when
-// the tree holds fewer items.
+// in minimum Euclidean distance, nearest first; equidistant items are
+// returned in ascending ID order, so the result is a pure function of the
+// item set (never of tree shape or insertion history — the behavioral pin a
+// packed kNN port must reproduce). It implements the classic best-first
+// traversal over a priority queue of nodes and items ordered by MINDIST.
+// Fewer than k results are returned when the tree holds fewer items.
 func (t *Tree) Nearest(p geom.Point, k int) []int {
 	if t.root == nil || k <= 0 {
 		return nil
@@ -67,8 +69,25 @@ type distEntry struct {
 // distQueue is a min-heap over distEntry.
 type distQueue []distEntry
 
-func (q distQueue) Len() int            { return len(q) }
-func (q distQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q distQueue) Len() int { return len(q) }
+
+// Less orders by distance; at equal distance, nodes sort before items so
+// every equidistant item has been resolved before any one of them is
+// emitted, and equidistant items sort by ascending ID. This makes the
+// tie-break deterministic across tree shapes.
+func (q distQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	in, jn := q[i].node != nil, q[j].node != nil
+	if in != jn {
+		return in
+	}
+	if !in {
+		return q[i].id < q[j].id
+	}
+	return false
+}
 func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(distEntry)) }
 func (q *distQueue) Pop() interface{} {

@@ -135,6 +135,98 @@ func TestPropNearestFirstIsClosest(t *testing.T) {
 	}
 }
 
+// TestNearestTieOrderDeterministic: equidistant items must come back in
+// ascending ID order regardless of how the tree was built — the behavioral
+// pin a packed kNN port has to reproduce. A ring of identical rectangles at
+// equal distance from the query point makes every result a tie.
+func TestNearestTieOrderDeterministic(t *testing.T) {
+	const n = 24
+	rects := make([]geom.Rect, n)
+	for i := 0; i < n; i++ {
+		// Compass-point placements at an exactly representable offset (0.25)
+		// make all four sides bit-identical in squared distance. Six items
+		// per side, all degenerate point rects, IDs deliberately interleaved
+		// across sides.
+		side := i % 4
+		var x, y float64
+		switch side {
+		case 0:
+			x, y = 0.75, 0.5
+		case 1:
+			x, y = 0.25, 0.5
+		case 2:
+			x, y = 0.5, 0.75
+		default:
+			x, y = 0.5, 0.25
+		}
+		rects[i] = geom.NewRect(x, y, x, y)
+	}
+	p := geom.Point{X: 0.5, Y: 0.5}
+	builds := map[string]*Tree{}
+	str, _ := BulkLoadSTR(ItemsFromRects(rects), WithFanout(2, 4))
+	builds["str"] = str
+	hil, _ := BulkLoadHilbert(ItemsFromRects(rects), WithFanout(2, 4))
+	builds["hilbert"] = hil
+	ins := MustNew(WithFanout(2, 4))
+	for i := n - 1; i >= 0; i-- { // reverse insertion order on purpose
+		ins.Insert(rects[i], i)
+	}
+	builds["insert"] = ins
+
+	for name, tr := range builds {
+		for _, k := range []int{1, 5, n, n + 10} {
+			got := tr.Nearest(p, k)
+			wantLen := k
+			if wantLen > n {
+				wantLen = n
+			}
+			if len(got) != wantLen {
+				t.Fatalf("%s k=%d: %d results, want %d", name, k, len(got), wantLen)
+			}
+			for j, id := range got {
+				if id != j {
+					t.Fatalf("%s k=%d: tie order %v, want ascending IDs", name, k, got)
+				}
+			}
+		}
+	}
+}
+
+// TestNearestTouchAccounting pins the traversal's page-read proxy: draining
+// the whole tree best-first touches every node exactly once, and a no-op
+// query touches nothing.
+func TestNearestTouchAccounting(t *testing.T) {
+	rects := randRects(1500, 210)
+	tr, _ := BulkLoadSTR(ItemsFromRects(rects), WithFanout(2, 8))
+	p := geom.Point{X: 0.4, Y: 0.5}
+
+	tr.ResetAccesses()
+	if got := tr.Nearest(p, 0); got != nil {
+		t.Fatalf("k=0 returned %v", got)
+	}
+	if acc := tr.Accesses(); acc != 0 {
+		t.Fatalf("k=0 touched %d nodes, want 0", acc)
+	}
+
+	tr.ResetAccesses()
+	all := tr.Nearest(p, len(rects))
+	if len(all) != len(rects) {
+		t.Fatalf("full drain returned %d of %d items", len(all), len(rects))
+	}
+	if acc, nodes := tr.Accesses(), int64(tr.ComputeStats().Nodes); acc != nodes {
+		t.Fatalf("full drain touched %d nodes, tree has %d", acc, nodes)
+	}
+
+	// A k=1 probe must touch at most one node per level beyond the frontier
+	// it actually needed — pin a loose but meaningful upper bound: strictly
+	// fewer touches than the full drain.
+	tr.ResetAccesses()
+	tr.Nearest(p, 1)
+	if acc, nodes := tr.Accesses(), int64(tr.ComputeStats().Nodes); acc >= nodes {
+		t.Fatalf("k=1 touched %d of %d nodes — best-first pruning is not pruning", acc, nodes)
+	}
+}
+
 func BenchmarkNearest(b *testing.B) {
 	tr, _ := BulkLoadSTR(ItemsFromRects(randRects(50000, 205)))
 	p := geom.Point{X: 0.37, Y: 0.61}

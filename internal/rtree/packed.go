@@ -1,0 +1,239 @@
+package rtree
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"spatialsel/internal/geom"
+	"spatialsel/internal/hilbert"
+	"spatialsel/internal/obs"
+)
+
+// Packed build counters: snapshot publication packs a tree per generation
+// bump, so build cost is a serving-path number worth watching.
+var (
+	mPackedBuilds = obs.Default.Counter("rtree_packed_builds_total",
+		"Packed snapshot images built from Guttman trees.")
+	mPackedBuildSeconds = obs.Default.FloatCounter("rtree_packed_build_seconds_total",
+		"Seconds spent building packed snapshot images.")
+)
+
+// Packed is a read-optimized, immutable image of an R-tree for published
+// snapshots: the same topology as the source tree, flattened into contiguous
+// structure-of-arrays planes. Node MBRs live in four parallel []float64
+// planes (one per coordinate), children are addressed by index instead of
+// pointer, and leaf entries are laid out in contiguous per-leaf runs sorted
+// in ascending Hilbert order of their centers, so the join kernel streams
+// cache lines instead of chasing pointers.
+//
+// A Packed is safe for concurrent readers (including the access counter,
+// which is atomic); it is never mutated after Pack returns. The mutable
+// Guttman tree remains the write side — re-pack or publish builds a fresh
+// image.
+type Packed struct {
+	accesses int64 // atomic; first field keeps it 64-bit aligned
+
+	// Node planes, indexed by node id in breadth-first order (root = 0), so
+	// every node's children occupy one contiguous id run.
+	nodeXMin []float64
+	nodeYMin []float64
+	nodeXMax []float64
+	nodeYMax []float64
+	// start/count address a node's children: for internal nodes a run of
+	// node ids, for leaves a run of item slots.
+	start []int32
+	count []int32
+	leaf  []bool
+
+	// Item planes: leaf entry MBRs and ids, grouped per leaf.
+	itemXMin []float64
+	itemYMin []float64
+	itemXMax []float64
+	itemYMax []float64
+	itemID   []int
+
+	// Group planes: the bounding box of every aligned run of itemGroup item
+	// slots (group g covers slots [g·itemGroup, (g+1)·itemGroup)). Because
+	// leaf items sit in Hilbert order, consecutive slots are spatial
+	// neighbours and group boxes stay tight, so the join kernel prunes a
+	// whole group with one rect test before evaluating any item lanes —
+	// an implicit extra tree level that costs four floats per eight items.
+	// Groups are aligned to the global item array, not to leaf runs; a
+	// boundary group spanning two leaves just has a slightly looser box.
+	grpXMin []float64
+	grpYMin []float64
+	grpXMax []float64
+	grpYMax []float64
+
+	size   int
+	height int
+}
+
+// Pack builds the packed image of t. Cost is one full scan of the tree —
+// O(n) like Clone — plus a per-leaf Hilbert sort of its entries; the source
+// tree is only read. An empty tree packs to an empty image.
+func Pack(t *Tree) *Packed {
+	startTime := time.Now()
+	p := &Packed{size: t.size, height: t.height}
+	if t.root == nil {
+		mPackedBuilds.Inc()
+		mPackedBuildSeconds.Add(time.Since(startTime).Seconds())
+		return p
+	}
+
+	// Hilbert curve over the root MBR orders each leaf's entries; degenerate
+	// extents get a hair of slack exactly like the bulk loader.
+	rootMBR := t.root.mbr()
+	curveMBR := rootMBR
+	if curveMBR.Area() <= 0 {
+		curveMBR = curveMBR.Expand(1e-9)
+	}
+	curve := hilbert.MustNew(hilbert.MaxOrder, curveMBR)
+
+	// Breadth-first layout: visiting node i appends its children as one
+	// contiguous run, so start/count address them by id.
+	queue := []*node{t.root}
+	var keys []uint64
+	var perm []int
+	for qi := 0; qi < len(queue); qi++ {
+		n := queue[qi]
+		m := n.mbr()
+		p.nodeXMin = append(p.nodeXMin, m.MinX)
+		p.nodeYMin = append(p.nodeYMin, m.MinY)
+		p.nodeXMax = append(p.nodeXMax, m.MaxX)
+		p.nodeYMax = append(p.nodeYMax, m.MaxY)
+		p.leaf = append(p.leaf, n.leaf)
+		p.count = append(p.count, int32(len(n.entries)))
+		if !n.leaf {
+			p.start = append(p.start, int32(len(queue)))
+			for i := range n.entries {
+				queue = append(queue, n.entries[i].child)
+			}
+			continue
+		}
+		p.start = append(p.start, int32(len(p.itemID)))
+		// Lay the leaf's entries out in ascending Hilbert order of their
+		// centers: neighbours on the curve are neighbours in memory.
+		keys = keys[:0]
+		perm = perm[:0]
+		for i := range n.entries {
+			keys = append(keys, curve.RectIndex(n.entries[i].rect))
+			perm = append(perm, i)
+		}
+		sort.Slice(perm, func(a, b int) bool {
+			if keys[perm[a]] != keys[perm[b]] {
+				return keys[perm[a]] < keys[perm[b]]
+			}
+			return n.entries[perm[a]].id < n.entries[perm[b]].id
+		})
+		for _, i := range perm {
+			e := &n.entries[i]
+			p.itemXMin = append(p.itemXMin, e.rect.MinX)
+			p.itemYMin = append(p.itemYMin, e.rect.MinY)
+			p.itemXMax = append(p.itemXMax, e.rect.MaxX)
+			p.itemYMax = append(p.itemYMax, e.rect.MaxY)
+			p.itemID = append(p.itemID, e.id)
+		}
+	}
+	ng := (len(p.itemID) + itemGroup - 1) / itemGroup
+	p.grpXMin = make([]float64, ng)
+	p.grpYMin = make([]float64, ng)
+	p.grpXMax = make([]float64, ng)
+	p.grpYMax = make([]float64, ng)
+	for g := 0; g < ng; g++ {
+		lo := g * itemGroup
+		hi := lo + itemGroup
+		if hi > len(p.itemID) {
+			hi = len(p.itemID)
+		}
+		xm, ym, xM, yM := p.itemXMin[lo], p.itemYMin[lo], p.itemXMax[lo], p.itemYMax[lo]
+		for i := lo + 1; i < hi; i++ {
+			if p.itemXMin[i] < xm {
+				xm = p.itemXMin[i]
+			}
+			if p.itemYMin[i] < ym {
+				ym = p.itemYMin[i]
+			}
+			if p.itemXMax[i] > xM {
+				xM = p.itemXMax[i]
+			}
+			if p.itemYMax[i] > yM {
+				yM = p.itemYMax[i]
+			}
+		}
+		p.grpXMin[g], p.grpYMin[g], p.grpXMax[g], p.grpYMax[g] = xm, ym, xM, yM
+	}
+	mPackedBuilds.Inc()
+	mPackedBuildSeconds.Add(time.Since(startTime).Seconds())
+	return p
+}
+
+// itemGroup is the group-plane granularity: one bounding box per 8 item
+// slots, matching the kernel's 8-wide unrolled mask step.
+const itemGroup = 8
+
+// Len returns the number of stored items.
+func (p *Packed) Len() int { return p.size }
+
+// Height returns the number of levels (0 when empty).
+func (p *Packed) Height() int { return p.height }
+
+// NumNodes returns the number of nodes in the image.
+func (p *Packed) NumNodes() int { return len(p.leaf) }
+
+// RootMBR returns the root node's MBR (the zero Rect when empty).
+func (p *Packed) RootMBR() geom.Rect {
+	if len(p.leaf) == 0 {
+		return geom.Rect{}
+	}
+	return geom.Rect{MinX: p.nodeXMin[0], MinY: p.nodeYMin[0], MaxX: p.nodeXMax[0], MaxY: p.nodeYMax[0]}
+}
+
+// Accesses returns the number of node touches since construction or the last
+// ResetAccesses — the same page-read proxy the pointer tree counts.
+func (p *Packed) Accesses() int64 { return atomic.LoadInt64(&p.accesses) }
+
+// ResetAccesses zeroes the access counter.
+func (p *Packed) ResetAccesses() { atomic.StoreInt64(&p.accesses, 0) }
+
+// VisitItems calls fn for every stored item in leaf layout order. It exists
+// so consistency checks (tests, the snapshot-publish hammer) can compare a
+// packed image against the index it claims to mirror without reaching into
+// the planes.
+func (p *Packed) VisitItems(fn func(id int, r geom.Rect)) {
+	for i, id := range p.itemID {
+		fn(id, geom.Rect{MinX: p.itemXMin[i], MinY: p.itemYMin[i], MaxX: p.itemXMax[i], MaxY: p.itemYMax[i]})
+	}
+}
+
+// Search appends the IDs of all items intersecting q to out — the packed
+// counterpart of Tree.Search, used by tests and spot checks; the join
+// kernels have their own traversals.
+func (p *Packed) Search(q geom.Rect, out []int) []int {
+	if len(p.leaf) == 0 {
+		return out
+	}
+	return p.search(0, q, out)
+}
+
+func (p *Packed) search(n int32, q geom.Rect, out []int) []int {
+	atomic.AddInt64(&p.accesses, 1)
+	s, c := p.start[n], p.count[n]
+	if p.leaf[n] {
+		for i := s; i < s+c; i++ {
+			if p.itemXMin[i] <= q.MaxX && q.MinX <= p.itemXMax[i] &&
+				p.itemYMin[i] <= q.MaxY && q.MinY <= p.itemYMax[i] {
+				out = append(out, p.itemID[i])
+			}
+		}
+		return out
+	}
+	for i := s; i < s+c; i++ {
+		if p.nodeXMin[i] <= q.MaxX && q.MinX <= p.nodeXMax[i] &&
+			p.nodeYMin[i] <= q.MaxY && q.MinY <= p.nodeYMax[i] {
+			out = p.search(i, q, out)
+		}
+	}
+	return out
+}

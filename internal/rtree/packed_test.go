@@ -1,0 +1,133 @@
+package rtree
+
+import (
+	"sort"
+	"testing"
+
+	"spatialsel/internal/geom"
+	"spatialsel/internal/hilbert"
+)
+
+// packOf bulk-loads rects and returns both forms.
+func packOf(t *testing.T, rects []geom.Rect) (*Tree, *Packed) {
+	t.Helper()
+	tr, err := BulkLoadSTR(ItemsFromRects(rects), WithFanout(2, 8))
+	if err != nil {
+		t.Fatalf("BulkLoadSTR: %v", err)
+	}
+	return tr, Pack(tr)
+}
+
+func TestPackMirrorsTree(t *testing.T) {
+	rects := randRects(2000, 7)
+	tr, p := packOf(t, rects)
+
+	if p.Len() != tr.Len() {
+		t.Fatalf("Len = %d, want %d", p.Len(), tr.Len())
+	}
+	if p.Height() != tr.Height() {
+		t.Fatalf("Height = %d, want %d", p.Height(), tr.Height())
+	}
+	if got, want := p.RootMBR(), tr.root.mbr(); got != want {
+		t.Fatalf("RootMBR = %v, want %v", got, want)
+	}
+	if p.NumNodes() != tr.ComputeStats().Nodes {
+		t.Fatalf("NumNodes = %d, want %d", p.NumNodes(), tr.ComputeStats().Nodes)
+	}
+
+	// Every item survives with its exact rect.
+	seen := make(map[int]geom.Rect, len(rects))
+	p.VisitItems(func(id int, r geom.Rect) {
+		if _, dup := seen[id]; dup {
+			t.Fatalf("item %d appears twice", id)
+		}
+		seen[id] = r
+	})
+	if len(seen) != len(rects) {
+		t.Fatalf("VisitItems yielded %d items, want %d", len(seen), len(rects))
+	}
+	for id, r := range seen {
+		if r != rects[id] {
+			t.Fatalf("item %d rect = %v, want %v", id, r, rects[id])
+		}
+	}
+}
+
+func TestPackEmptyAndSingle(t *testing.T) {
+	empty, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pack(empty)
+	if p.Len() != 0 || p.NumNodes() != 0 || p.Height() != 0 {
+		t.Fatalf("empty pack: len=%d nodes=%d height=%d", p.Len(), p.NumNodes(), p.Height())
+	}
+	if got := p.Search(geom.NewRect(0, 0, 1, 1), nil); len(got) != 0 {
+		t.Fatalf("empty search returned %v", got)
+	}
+
+	one, _ := New()
+	one.Insert(geom.NewRect(0.3, 0.3, 0.3, 0.3), 42) // degenerate point rect
+	ps := Pack(one)
+	if ps.Len() != 1 {
+		t.Fatalf("single pack len = %d", ps.Len())
+	}
+	if got := ps.Search(geom.NewRect(0, 0, 1, 1), nil); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("single search = %v, want [42]", got)
+	}
+}
+
+func TestPackedSearchMatchesTree(t *testing.T) {
+	rects := randRects(1500, 9)
+	tr, p := packOf(t, rects)
+	queries := randRects(64, 10)
+	for _, q := range queries {
+		want := tr.Search(q, nil)
+		got := p.Search(q, nil)
+		sort.Ints(want)
+		sort.Ints(got)
+		if !sortedEqual(got, want) {
+			t.Fatalf("query %v: packed %d hits, tree %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestPackedSearchCountsAccesses(t *testing.T) {
+	rects := randRects(500, 11)
+	_, p := packOf(t, rects)
+	p.ResetAccesses()
+	if p.Accesses() != 0 {
+		t.Fatal("ResetAccesses did not zero counter")
+	}
+	p.Search(geom.NewRect(0, 0, 1, 1), nil)
+	if p.Accesses() != int64(p.NumNodes()) {
+		t.Fatalf("full-extent search touched %d nodes, want %d", p.Accesses(), p.NumNodes())
+	}
+}
+
+// TestPackHilbertLeafOrder pins the read-optimized layout: within every leaf
+// run, items ascend by Hilbert key of their rect (ties by id).
+func TestPackHilbertLeafOrder(t *testing.T) {
+	rects := clusteredRects(1200, 13)
+	tr, p := packOf(t, rects)
+	curveMBR := tr.root.mbr()
+	if curveMBR.Area() <= 0 {
+		curveMBR = curveMBR.Expand(1e-9)
+	}
+	curve := hilbert.MustNew(hilbert.MaxOrder, curveMBR)
+	for n := 0; n < p.NumNodes(); n++ {
+		if !p.leaf[n] {
+			continue
+		}
+		s, c := int(p.start[n]), int(p.count[n])
+		for i := s + 1; i < s+c; i++ {
+			prev := geom.Rect{MinX: p.itemXMin[i-1], MinY: p.itemYMin[i-1], MaxX: p.itemXMax[i-1], MaxY: p.itemYMax[i-1]}
+			cur := geom.Rect{MinX: p.itemXMin[i], MinY: p.itemYMin[i], MaxX: p.itemXMax[i], MaxY: p.itemYMax[i]}
+			kp, kc := curve.RectIndex(prev), curve.RectIndex(cur)
+			if kp > kc || (kp == kc && p.itemID[i-1] >= p.itemID[i]) {
+				t.Fatalf("leaf %d: items %d,%d out of Hilbert order (keys %d,%d ids %d,%d)",
+					n, i-1, i, kp, kc, p.itemID[i-1], p.itemID[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,497 @@
+package rtree
+
+import (
+	"context"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"spatialsel/internal/geom"
+	"spatialsel/internal/obs"
+)
+
+// Packed-kernel join counters — the packed families mirror the pointer
+// kernel's, so dashboards can compare the two side by side.
+var (
+	mPackedJoins = obs.Default.Counter("rtree_packed_joins_total",
+		"Packed-image spatial joins started.")
+	mPackedNodeVisits = obs.Default.Counter("rtree_packed_node_visits_total",
+		"Node pairs visited by packed joins.")
+	mPackedLeafCompares = obs.Default.Counter("rtree_packed_leaf_compares_total",
+		"SoA predicate lanes evaluated by packed joins.")
+	mPackedOutputPairs = obs.Default.Counter("rtree_packed_output_pairs_total",
+		"Intersecting pairs emitted by packed joins.")
+	mPackedCancelPolls = obs.Default.Counter("rtree_packed_cancel_polls_total",
+		"Context cancellation polls performed by packed joins.")
+)
+
+// ResolveJoinWorkers maps a join worker knob onto the pool size the kernels
+// actually run with: values ≤ 0 select GOMAXPROCS, everything else is taken
+// as given. Exported so callers that label measurements (cmd/benchrun) report
+// the resolved count instead of the raw knob.
+func ResolveJoinWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// btou converts a predicate to 0/1 without introducing a branch the hot loop
+// must predict (the compiler lowers this pattern to SETcc/CSET).
+func btou(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// lane is one branchless closed-rectangle intersection test against a SoA
+// slot: 1 when the query rect and the slot rect share at least a boundary
+// point.
+func lane(qxmin, qymin, qxmax, qymax, xmin, ymin, xmax, ymax float64) uint64 {
+	return btou(xmin <= qxmax) & btou(qxmin <= xmax) &
+		btou(ymin <= qymax) & btou(qymin <= ymax)
+}
+
+// overlapMask evaluates the query rect against n consecutive SoA slots
+// starting at lo (n ≤ 64) and returns the intersection bitmask, bit i for
+// slot lo+i. The loop runs 8 lanes per step with no data-dependent branches,
+// so the compiler keeps the four query coordinates in registers and the four
+// planes stream sequentially through the cache.
+func overlapMask(qxmin, qymin, qxmax, qymax float64, xmin, ymin, xmax, ymax []float64, lo, n int) uint64 {
+	xm := xmin[lo : lo+n : lo+n]
+	ym := ymin[lo : lo+n : lo+n]
+	xM := xmax[lo : lo+n : lo+n]
+	yM := ymax[lo : lo+n : lo+n]
+	var m uint64
+	j := 0
+	for ; j+8 <= n; j += 8 {
+		var w uint64
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j], ym[j], xM[j], yM[j])
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j+1], ym[j+1], xM[j+1], yM[j+1]) << 1
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j+2], ym[j+2], xM[j+2], yM[j+2]) << 2
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j+3], ym[j+3], xM[j+3], yM[j+3]) << 3
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j+4], ym[j+4], xM[j+4], yM[j+4]) << 4
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j+5], ym[j+5], xM[j+5], yM[j+5]) << 5
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j+6], ym[j+6], xM[j+6], yM[j+6]) << 6
+		w |= lane(qxmin, qymin, qxmax, qymax, xm[j+7], ym[j+7], xM[j+7], yM[j+7]) << 7
+		m |= w << uint(j)
+	}
+	for ; j < n; j++ {
+		m |= lane(qxmin, qymin, qxmax, qymax, xm[j], ym[j], xM[j], yM[j]) << uint(j)
+	}
+	return m
+}
+
+// packedJoinRun carries one packed traversal's state, mirroring joinRun: the
+// images, the emit callback, the cancellation context with its visit counter,
+// and local accounting flushed once at the end.
+type packedJoinRun struct {
+	pa, pb     *Packed
+	emit       func(int, int)
+	ctx        context.Context
+	visits     int
+	polls      int
+	compares   int
+	pairs      int
+	accA, accB int
+	err        error
+}
+
+// cancelled polls the run's context every cancelCheckInterval node-pair
+// visits; once the context is done the error latches.
+func (j *packedJoinRun) cancelled() bool {
+	if j.err != nil {
+		return true
+	}
+	if j.ctx == nil {
+		return false
+	}
+	j.visits++
+	if j.visits%cancelCheckInterval == 0 {
+		j.polls++
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+			return true
+		}
+	}
+	return false
+}
+
+// nodeRect materializes node i's MBR from the planes.
+func (p *Packed) nodeRect(i int32) geom.Rect {
+	return geom.Rect{MinX: p.nodeXMin[i], MinY: p.nodeYMin[i], MaxX: p.nodeXMax[i], MaxY: p.nodeYMax[i]}
+}
+
+// join joins two nodes known to have intersecting MBRs; clip is the
+// intersection of their MBRs. Mixed heights descend the internal side only.
+func (j *packedJoinRun) join(na, nb int32, clip geom.Rect) {
+	if j.cancelled() {
+		return
+	}
+	j.accA++
+	j.accB++
+	pa, pb := j.pa, j.pb
+	switch {
+	case pa.leaf[na] && pb.leaf[nb]:
+		j.joinLeaves(na, nb, clip)
+	case pa.leaf[na]:
+		s, c := pb.start[nb], pb.count[nb]
+		for i := s; i < s+c; i++ {
+			if sub, ok := pb.nodeRect(i).Intersection(clip); ok {
+				j.join(na, i, sub)
+			}
+		}
+	case pb.leaf[nb]:
+		s, c := pa.start[na], pa.count[na]
+		for i := s; i < s+c; i++ {
+			if sub, ok := pa.nodeRect(i).Intersection(clip); ok {
+				j.join(i, nb, sub)
+			}
+		}
+	default:
+		j.joinInternal(na, nb, clip)
+	}
+}
+
+// maskWords is the stack-allocated capacity for per-run clip masks: 8 words
+// cover fanouts up to 512 without a heap allocation.
+const maskWords = 8
+
+// runClipMask evaluates clip against the [s, s+c) run of the given planes and
+// returns one bitmask word per 64 slots. Entries outside clip cannot
+// contribute to this node pair (an entry pair's intersection always lies
+// inside both parents' MBRs, hence inside clip), so downstream loops skip
+// whole words the clip zeroes out — the packed counterpart of the pointer
+// sweep's clip filter, and what keeps selective workloads from paying
+// O(count²) lanes per node pair.
+func runClipMask(buf []uint64, xm, ym, xM, yM []float64, s, c int, clip geom.Rect) []uint64 {
+	for base := 0; base < c; base += 64 {
+		n := c - base
+		if n > 64 {
+			n = 64
+		}
+		buf = append(buf, overlapMask(clip.MinX, clip.MinY, clip.MaxX, clip.MaxY, xm, ym, xM, yM, s+base, n))
+	}
+	return buf
+}
+
+// joinInternal pairs the two nodes' child runs: each a-child surviving the
+// clip filter is mask-tested against the clip-surviving words of b's
+// contiguous child run, and every set bit recurses with the pair's MBR
+// intersection as the new clip.
+func (j *packedJoinRun) joinInternal(na, nb int32, clip geom.Rect) {
+	pa, pb := j.pa, j.pb
+	as, ac := int(pa.start[na]), int(pa.count[na])
+	bs, bc := int(pb.start[nb]), int(pb.count[nb])
+	// The clip mask lives on this frame's stack: the recursion below must not
+	// share a buffer with its callers.
+	var cmArr [maskWords]uint64
+	cm := runClipMask(cmArr[:0], pb.nodeXMin, pb.nodeYMin, pb.nodeXMax, pb.nodeYMax, bs, bc, clip)
+	for i := as; i < as+ac; i++ {
+		axmin, aymin := pa.nodeXMin[i], pa.nodeYMin[i]
+		axmax, aymax := pa.nodeXMax[i], pa.nodeYMax[i]
+		if axmin > clip.MaxX || clip.MinX > axmax || aymin > clip.MaxY || clip.MinY > aymax {
+			continue
+		}
+		for w, cw := range cm {
+			if cw == 0 {
+				continue
+			}
+			base := w * 64
+			n := bc - base
+			if n > 64 {
+				n = 64
+			}
+			j.compares += n
+			m := cw & overlapMask(axmin, aymin, axmax, aymax,
+				pb.nodeXMin, pb.nodeYMin, pb.nodeXMax, pb.nodeYMax, bs+base, n)
+			for m != 0 {
+				k := int32(bs + base + bits.TrailingZeros64(m))
+				m &= m - 1
+				sub := geom.Rect{
+					MinX: maxf(axmin, pb.nodeXMin[k]),
+					MinY: maxf(aymin, pb.nodeYMin[k]),
+					MaxX: minf(axmax, pb.nodeXMax[k]),
+					MaxY: minf(aymax, pb.nodeYMax[k]),
+				}
+				j.join(int32(i), k, sub)
+				if j.err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// joinLeaves emits every intersecting item pair between two leaves. Each
+// a-item surviving the clip filter walks b's run at group granularity: the
+// group's bounding box (tight, thanks to Hilbert layout) rejects eight items
+// with one rect test, and only surviving groups pay the 8-wide item mask.
+// Sparse workloads — where most leaf pairs share a sliver of clip and almost
+// no items — prune at the group level instead of evaluating the whole run.
+func (j *packedJoinRun) joinLeaves(na, nb int32, clip geom.Rect) {
+	pa, pb := j.pa, j.pb
+	as, ac := int(pa.start[na]), int(pa.count[na])
+	bs, bc := int(pb.start[nb]), int(pb.count[nb])
+	if bc == 0 {
+		return
+	}
+	bend := bs + bc
+	g0, g1 := bs/itemGroup, (bend-1)/itemGroup
+	for i := as; i < as+ac; i++ {
+		axmin, aymin := pa.itemXMin[i], pa.itemYMin[i]
+		axmax, aymax := pa.itemXMax[i], pa.itemYMax[i]
+		if axmin > clip.MaxX || clip.MinX > axmax || aymin > clip.MaxY || clip.MinY > aymax {
+			continue
+		}
+		aid := pa.itemID[i]
+		for g := g0; g <= g1; g++ {
+			if pb.grpXMin[g] > axmax || axmin > pb.grpXMax[g] ||
+				pb.grpYMin[g] > aymax || aymin > pb.grpYMax[g] {
+				continue
+			}
+			lo := g * itemGroup
+			if lo < bs {
+				lo = bs
+			}
+			hi := (g + 1) * itemGroup
+			if hi > bend {
+				hi = bend
+			}
+			n := hi - lo
+			j.compares += n
+			m := overlapMask(axmin, aymin, axmax, aymax,
+				pb.itemXMin, pb.itemYMin, pb.itemXMax, pb.itemYMax, lo, n)
+			for m != 0 {
+				k := lo + bits.TrailingZeros64(m)
+				m &= m - 1
+				j.pairs++
+				j.emit(aid, pb.itemID[k])
+			}
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// PackedJoinFuncContext streams each intersecting (aID, bID) pair between two
+// packed images to emit, with the same synchronized-traversal semantics and
+// cancellation behavior as JoinFuncContext on pointer trees: the context is
+// polled once per batch of node-pair visits, and a done context stops the
+// traversal and returns its error. Emission order is deterministic for
+// identical images.
+func PackedJoinFuncContext(ctx context.Context, a, b *Packed, emit func(aID, bID int)) error {
+	mPackedJoins.Inc()
+	if a.NumNodes() == 0 || b.NumNodes() == 0 {
+		return nil
+	}
+	clip, ok := a.RootMBR().Intersection(b.RootMBR())
+	if !ok {
+		return nil
+	}
+	sp := obs.SpanFrom(ctx).Child("rtree.packed_join")
+	j := &packedJoinRun{pa: a, pb: b, ctx: ctx, emit: emit}
+	j.join(0, 0, clip)
+	mPackedNodeVisits.Add(uint64(j.visits))
+	mPackedLeafCompares.Add(uint64(j.compares))
+	mPackedOutputPairs.Add(uint64(j.pairs))
+	mPackedCancelPolls.Add(uint64(j.polls))
+	atomic.AddInt64(&a.accesses, int64(j.accA))
+	atomic.AddInt64(&b.accesses, int64(j.accB))
+	if sp != nil {
+		sp.Set("node_visits", float64(j.visits))
+		sp.Set("leaf_compares", float64(j.compares))
+		sp.Set("output_pairs", float64(j.pairs))
+		sp.Set("cancel_polls", float64(j.polls))
+		sp.End()
+	}
+	return j.err
+}
+
+// PackedJoinCount returns the number of intersecting pairs between two packed
+// images.
+func PackedJoinCount(a, b *Packed) int {
+	n := 0
+	_ = PackedJoinFuncContext(context.Background(), a, b, func(int, int) { n++ })
+	return n
+}
+
+// packedJoinTask is one independent unit of parallel packed-join work.
+type packedJoinTask struct {
+	na, nb int32
+	clip   geom.Rect
+}
+
+// expandPackedJoinTasks expands the traversal's top levels serially into
+// independent node-pair tasks, breadth-first, splitting every expandable task
+// one level on its larger side per round until there are at least target
+// tasks — the index-addressed twin of expandJoinTasks. visA and visB count
+// the per-side expansion visits for the join's accounting.
+func expandPackedJoinTasks(pa, pb *Packed, clip geom.Rect, target int) (tasks []packedJoinTask, visA, visB int) {
+	tasks = []packedJoinTask{{na: 0, nb: 0, clip: clip}}
+	for len(tasks) < target {
+		next := make([]packedJoinTask, 0, len(tasks)*4)
+		expanded := false
+		for _, tk := range tasks {
+			switch {
+			case !pa.leaf[tk.na] && (pb.leaf[tk.nb] || pa.count[tk.na] >= pb.count[tk.nb]):
+				visA++
+				s, c := pa.start[tk.na], pa.count[tk.na]
+				for i := s; i < s+c; i++ {
+					if sub, ok := pa.nodeRect(i).Intersection(tk.clip); ok {
+						next = append(next, packedJoinTask{na: i, nb: tk.nb, clip: sub})
+					}
+				}
+				expanded = true
+			case !pb.leaf[tk.nb]:
+				visB++
+				s, c := pb.start[tk.nb], pb.count[tk.nb]
+				for i := s; i < s+c; i++ {
+					if sub, ok := pb.nodeRect(i).Intersection(tk.clip); ok {
+						next = append(next, packedJoinTask{na: tk.na, nb: i, clip: sub})
+					}
+				}
+				expanded = true
+			default:
+				next = append(next, tk)
+			}
+		}
+		tasks = next
+		if !expanded {
+			break
+		}
+	}
+	return tasks, visA, visB
+}
+
+// PackedJoinFuncParallelContext computes the same pair set as
+// PackedJoinFuncContext using a pool of workers, with the task-stealing
+// scheduler the pointer kernel uses: serial breadth-first expansion into
+// node-pair tasks, atomic-cursor claiming, per-task pair buffers replayed in
+// task order from the caller's goroutine (deterministic emission for a given
+// image pair and worker count), whole-join accounting flushed once.
+//
+// workers ≤ 0 selects GOMAXPROCS; workers == 1 falls back to the serial
+// PackedJoinFuncContext. Both images may be shared with concurrent readers.
+func PackedJoinFuncParallelContext(ctx context.Context, a, b *Packed, workers int, emit func(aID, bID int)) error {
+	workers = ResolveJoinWorkers(workers)
+	if workers == 1 {
+		return PackedJoinFuncContext(ctx, a, b, emit)
+	}
+	mPackedJoins.Inc()
+	if a.NumNodes() == 0 || b.NumNodes() == 0 {
+		return nil
+	}
+	clip, ok := a.RootMBR().Intersection(b.RootMBR())
+	if !ok {
+		return nil
+	}
+	sp := obs.SpanFrom(ctx).Child("rtree.packed_join_parallel")
+
+	tasks, expA, expB := expandPackedJoinTasks(a, b, clip, workers*taskTargetPerWorker)
+
+	results := make([][]JoinPair, len(tasks))
+	errs := make([]error, workers)
+	var cursor int64
+	var visits, polls, compares, pairs int64
+	accA, accB := int64(expA), int64(expB)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lv, lp, lc, lpairs, la, lb int
+			for {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					break
+				}
+				i := atomic.AddInt64(&cursor, 1) - 1
+				if i >= int64(len(tasks)) {
+					break
+				}
+				tk := tasks[i]
+				var buf []JoinPair
+				j := &packedJoinRun{pa: a, pb: b, ctx: ctx}
+				j.emit = func(pa, pb int) {
+					buf = append(buf, JoinPair{A: pa, B: pb})
+				}
+				j.join(tk.na, tk.nb, tk.clip)
+				lv += j.visits
+				lp += j.polls
+				lc += j.compares
+				lpairs += j.pairs
+				la += j.accA
+				lb += j.accB
+				if j.err != nil {
+					errs[w] = j.err
+					break
+				}
+				results[i] = buf
+			}
+			atomic.AddInt64(&visits, int64(lv))
+			atomic.AddInt64(&polls, int64(lp))
+			atomic.AddInt64(&compares, int64(lc))
+			atomic.AddInt64(&pairs, int64(lpairs))
+			atomic.AddInt64(&accA, int64(la))
+			atomic.AddInt64(&accB, int64(lb))
+		}(w)
+	}
+	wg.Wait()
+
+	visits += int64(expA + expB)
+	mPackedNodeVisits.Add(uint64(visits))
+	mPackedLeafCompares.Add(uint64(compares))
+	mPackedOutputPairs.Add(uint64(pairs))
+	mPackedCancelPolls.Add(uint64(polls))
+	atomic.AddInt64(&a.accesses, accA)
+	atomic.AddInt64(&b.accesses, accB)
+	if sp != nil {
+		sp.Set("workers", float64(workers))
+		sp.Set("tasks", float64(len(tasks)))
+		sp.Set("node_visits", float64(visits))
+		sp.Set("leaf_compares", float64(compares))
+		sp.Set("output_pairs", float64(pairs))
+		sp.Set("cancel_polls", float64(polls))
+		sp.End()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Deterministic merge, polled per buffer like the pointer kernel's.
+	for _, buf := range results {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, p := range buf {
+			emit(p.A, p.B)
+		}
+	}
+	return nil
+}
+
+// PackedJoinCountParallel computes the pair count with a worker pool;
+// workers ≤ 0 selects GOMAXPROCS.
+func PackedJoinCountParallel(a, b *Packed, workers int) int {
+	n := 0
+	// A background context cannot be cancelled, so the error is always nil.
+	_ = PackedJoinFuncParallelContext(context.Background(), a, b, workers, func(int, int) { n++ })
+	return n
+}

@@ -2,7 +2,6 @@ package rtree
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -90,9 +89,7 @@ func expandJoinTasks(a, b *node, clip geom.Rect, target int) (tasks []joinTask, 
 // accounting. Both trees may be shared with concurrent readers but not
 // writers.
 func JoinFuncParallelContext(ctx context.Context, a, b *Tree, workers int, emit func(aID, bID int)) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers = ResolveJoinWorkers(workers)
 	if workers == 1 {
 		return JoinFuncContext(ctx, a, b, emit)
 	}

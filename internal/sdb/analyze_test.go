@@ -38,11 +38,13 @@ func TestExecuteContextSpans(t *testing.T) {
 			t.Fatalf("join span missing %s: %+v", key, join.Attrs)
 		}
 	}
-	if len(join.Children) != 1 || join.Children[0].Name != "rtree.join" {
-		t.Fatalf("join span should nest rtree.join, got %+v", join.Children)
+	// Catalog-built tables carry packed snapshots on both sides, so the
+	// executor runs the packed kernel (serial or parallel by size).
+	if len(join.Children) != 1 || !strings.HasPrefix(join.Children[0].Name, "rtree.packed_join") {
+		t.Fatalf("join span should nest rtree.packed_join, got %+v", join.Children)
 	}
 	if join.Children[0].Attrs["node_visits"].(float64) <= 0 {
-		t.Fatalf("rtree.join span missing node_visits: %+v", join.Children[0].Attrs)
+		t.Fatalf("rtree.packed_join span missing node_visits: %+v", join.Children[0].Attrs)
 	}
 	probeSpan := exec.Children[1]
 	if !strings.HasPrefix(probeSpan.Name, "probe ") {
@@ -65,7 +67,7 @@ func TestExecuteWithoutTraceRecordsCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := obs.Default.Snapshot()
-	for _, name := range []string{"sdb_exec_queries_total", "sdb_exec_rows_total", "rtree_join_node_visits_total"} {
+	for _, name := range []string{"sdb_exec_queries_total", "sdb_exec_rows_total", "sdb_exec_packed_joins_total", "rtree_packed_node_visits_total"} {
 		if after[name] <= before[name] {
 			t.Errorf("%s did not advance: %v -> %v", name, before[name], after[name])
 		}

@@ -47,6 +47,13 @@ type Table struct {
 	Data  *dataset.Dataset
 	Index *rtree.Tree
 	Stats *histogram.GHSummary
+	// Packed is the read-optimized SoA image of Index, present on tables
+	// whose index is frozen for the table's lifetime (bulk-built tables,
+	// published snapshots). The executor prefers the packed join kernel when
+	// both sides of a join carry one; nil means fall back to the pointer
+	// kernel. A non-nil Packed must mirror Index exactly — producers build it
+	// from the same immutable tree they attach.
+	Packed *rtree.Packed
 	// RawExtent is the dataset's extent before normalization to the unit
 	// square. The live-ingest path uses it to map incoming rectangles (given
 	// in the table's original coordinate space) onto the normalized space the
@@ -109,7 +116,10 @@ func (c *Catalog) BuildTable(d *dataset.Dataset) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sdb: statistics %s: %w", d.Name, err)
 	}
-	return &Table{Name: d.Name, Data: nd, Index: index, Stats: statsRaw.(*histogram.GHSummary), RawExtent: d.Extent}, nil
+	// The bulk-built index never mutates after this point, so the packed
+	// image built here stays valid for the table's lifetime.
+	return &Table{Name: d.Name, Data: nd, Index: index, Packed: rtree.Pack(index),
+		Stats: statsRaw.(*histogram.GHSummary), RawExtent: d.Extent}, nil
 }
 
 // Attach registers a pre-built table (from BuildTable, or carried over from

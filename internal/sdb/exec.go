@@ -20,6 +20,8 @@ var (
 		"Result rows materialized by the executor, summed over operators.")
 	mExecProbeRows = obs.Default.Counter("sdb_exec_probe_rows_total",
 		"Index probes issued by extension steps.")
+	mExecPackedJoins = obs.Default.Counter("sdb_exec_packed_joins_total",
+		"First joins executed on the packed SoA kernel instead of the pointer tree.")
 )
 
 // relError is the paper's estimation error |est − actual| / actual; an
@@ -150,7 +152,18 @@ func (p *Plan) ExecuteContext(ctx context.Context) (*Result, error) {
 	jctx, jcancel := context.WithCancel(jctx)
 	defer jcancel()
 	joinWorkers := resolveWorkers(p.Workers, baseTab.Len()+stepTab.Len(), parallelJoinMinItems)
-	jerr := rtree.JoinFuncParallelContext(jctx, baseTab.Index, stepTab.Index, joinWorkers, func(a, b int) {
+	// The packed SoA kernel engages when both sides carry a packed snapshot
+	// image (bulk-built tables and published snapshots always do); tables
+	// whose index mutates in place fall back to the pointer kernel
+	// transparently. Both kernels emit the identical pair set.
+	joinKernel := func(ctx context.Context, emit func(a, b int)) error {
+		if baseTab.Packed != nil && stepTab.Packed != nil {
+			mExecPackedJoins.Inc()
+			return rtree.PackedJoinFuncParallelContext(ctx, baseTab.Packed, stepTab.Packed, joinWorkers, emit)
+		}
+		return rtree.JoinFuncParallelContext(ctx, baseTab.Index, stepTab.Index, joinWorkers, emit)
+	}
+	jerr := joinKernel(jctx, func(a, b int) {
 		if ferr != nil {
 			return
 		}

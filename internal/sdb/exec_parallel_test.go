@@ -125,13 +125,15 @@ func TestExecuteContextFilterErrorAbortsJoin(t *testing.T) {
 	}
 	plan.Workers = 1 // the prompt-abort guarantee is about the serial traversal
 
-	// Baseline: how many node accesses a full execution costs.
-	ta.Index.ResetAccesses()
-	tb.Index.ResetAccesses()
+	// Baseline: how many node accesses a full execution costs. Catalog-built
+	// tables join on the packed kernel, so the accounting lives on the packed
+	// images.
+	ta.Packed.ResetAccesses()
+	tb.Packed.ResetAccesses()
 	if _, err := plan.ExecuteContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	fullAcc := ta.Index.Accesses() + tb.Index.Accesses()
+	fullAcc := ta.Packed.Accesses() + tb.Packed.Accesses()
 	if fullAcc == 0 {
 		t.Fatal("full execution counted no node accesses")
 	}
@@ -141,13 +143,13 @@ func TestExecuteContextFilterErrorAbortsJoin(t *testing.T) {
 	if !c.Drop("a") {
 		t.Fatal("drop failed")
 	}
-	ta.Index.ResetAccesses()
-	tb.Index.ResetAccesses()
+	ta.Packed.ResetAccesses()
+	tb.Packed.ResetAccesses()
 	_, err = plan.ExecuteContext(context.Background())
 	if err == nil || !strings.Contains(err.Error(), `unknown table "a"`) {
 		t.Fatalf("want unknown-table error, got %v", err)
 	}
-	abortAcc := ta.Index.Accesses() + tb.Index.Accesses()
+	abortAcc := ta.Packed.Accesses() + tb.Packed.Accesses()
 	if abortAcc*4 >= fullAcc {
 		t.Fatalf("filter error did not abort traversal promptly: %d accesses aborted vs %d full",
 			abortAcc, fullAcc)

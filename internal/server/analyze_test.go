@@ -59,15 +59,15 @@ func TestQueryAnalyze(t *testing.T) {
 	if _, ok := join.Attrs["rel_error"]; !ok {
 		t.Fatalf("join span missing rel_error: %+v", join.Attrs)
 	}
-	if len(join.Children) != 1 || join.Children[0].Name != "rtree.join" {
-		t.Fatalf("join span should nest rtree.join, got %+v", join.Children)
+	if len(join.Children) != 1 || !strings.HasPrefix(join.Children[0].Name, "rtree.packed_join") {
+		t.Fatalf("join span should nest rtree.packed_join, got %+v", join.Children)
 	}
 	rt := join.Children[0]
 	if rt.Attrs["node_visits"].(float64) <= 0 || rt.Attrs["output_pairs"].(float64) != float64(qr.TotalRows) {
-		t.Fatalf("rtree.join counters: %+v (total rows %d)", rt.Attrs, qr.TotalRows)
+		t.Fatalf("rtree.packed_join counters: %+v (total rows %d)", rt.Attrs, qr.TotalRows)
 	}
 
-	if !strings.Contains(qr.AnalyzeText, "rtree.join") || !strings.Contains(qr.AnalyzeText, "execute") {
+	if !strings.Contains(qr.AnalyzeText, "rtree.packed_join") || !strings.Contains(qr.AnalyzeText, "execute") {
 		t.Fatalf("analyze_text should render the tree:\n%s", qr.AnalyzeText)
 	}
 
@@ -101,8 +101,9 @@ func TestMetricsIncludeEngineSeries(t *testing.T) {
 
 	metrics := fetchMetrics(t, ts.URL)
 	for _, name := range []string{
-		"rtree_join_node_visits_total",
-		"rtree_joins_total",
+		"rtree_packed_node_visits_total",
+		"rtree_packed_joins_total",
+		"sdb_exec_packed_joins_total",
 		"sdb_exec_rows_total",
 		"sdb_exec_queries_total",
 	} {

@@ -1,10 +1,15 @@
 package server
 
 import (
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"spatialsel/internal/datagen"
+	"spatialsel/internal/geom"
+	"spatialsel/internal/ingest"
+	"spatialsel/internal/sdb"
 )
 
 func TestStoreSnapshotIsolation(t *testing.T) {
@@ -66,6 +71,151 @@ func TestStoreSnapshotIsolation(t *testing.T) {
 	}
 	if names := s.Snapshot().Catalog.Names(); len(names) != 1 {
 		t.Fatalf("after drop: %v", names)
+	}
+}
+
+// verifyPackedMirrors checks the invariant the packed-publication seam must
+// hold for every snapshot: the packed image and the pointer index a table
+// carries describe exactly the same item set. Publish builds the image from
+// the same immutable *sdb.Table it installs under the new generation, so a
+// packed image built from generation G can never surface under G+1's key —
+// any divergence here means that seam broke.
+func verifyPackedMirrors(tab *sdb.Table) (msg string, ok bool) {
+	if tab.Packed == nil {
+		return "published table has no packed image", false
+	}
+	if got, want := tab.Packed.Len(), tab.Index.Len(); got != want {
+		return "packed image has " + strconv.Itoa(got) + " items, index " + strconv.Itoa(want), false
+	}
+	if rootM, okM := tab.Index.RootMBR(); okM && tab.Packed.RootMBR() != rootM {
+		return "packed root MBR diverges from index", false
+	}
+	bad := ""
+	n := 0
+	tab.Packed.VisitItems(func(id int, r geom.Rect) {
+		n++
+		if bad == "" && (id < 0 || id >= len(tab.Data.Items) || tab.Data.Items[id] != r) {
+			bad = "packed item " + strconv.Itoa(id) + " rect diverges from data"
+		}
+	})
+	if bad != "" {
+		return bad, false
+	}
+	if n != tab.Index.Len() {
+		return "packed image visited " + strconv.Itoa(n) + " items, index holds " + strconv.Itoa(tab.Index.Len()), false
+	}
+	return "", true
+}
+
+// TestStorePublishRepackRace hammers the snapshot-publish seam the packed
+// builder sits on: concurrent Apply batches race a Repack loop on a live
+// ingest table, every commit publishing into the store, while readers pin
+// generation↔packed-image consistency on each snapshot they observe. Run
+// under -race.
+func TestStorePublishRepackRace(t *testing.T) {
+	const level = 4
+	store, err := NewStore(level)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Register(datagen.Uniform("x", 300, 0.02, 7), false); err != nil {
+		t.Fatal(err)
+	}
+	manager := ingest.NewManager(ingest.Options{
+		Level:   level,
+		Lookup:  func(name string) (*sdb.Table, error) { return store.Snapshot().Catalog.Table(name) },
+		Publish: store.Publish,
+		Repack:  ingest.RepackPolicy{MinChurn: 25, MaxChurnRatio: 0.05},
+	})
+	tab, err := manager.Table("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var failed atomic.Bool
+
+	// Two mutators plus a dedicated re-pack loop: publications from Apply's
+	// group commit and from Repack's swap interleave freely.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed float64) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				x := seed + float64(i%9)*0.05
+				y := float64(i%7) * 0.07
+				if _, err := tab.Apply(ingest.Mutation{Inserts: []geom.Rect{geom.NewRect(x, y, x+0.03, y+0.03)}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(0.05 * float64(w+1))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if _, err := tab.Repack(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: every observed snapshot must carry a packed image that
+	// mirrors its index, and generations must never regress.
+	var readers sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		readers.Add(1)
+		go func(slot int) {
+			defer readers.Done()
+			var prevGen uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := store.Snapshot()
+				gen := snap.Generation("x")
+				if gen < prevGen {
+					t.Errorf("reader %d: generation regressed %d -> %d", slot, prevGen, gen)
+					failed.Store(true)
+					return
+				}
+				prevGen = gen
+				tx, err := snap.Catalog.Table("x")
+				if err != nil {
+					t.Errorf("reader %d: %v", slot, err)
+					failed.Store(true)
+					return
+				}
+				if msg, ok := verifyPackedMirrors(tx); !ok {
+					t.Errorf("reader %d at generation %d: %s", slot, gen, msg)
+					failed.Store(true)
+					return
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if failed.Load() {
+		return
+	}
+	// The final snapshot reflects all 240 inserts, packed and indexed alike.
+	tx, err := store.Snapshot().Catalog.Table("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := verifyPackedMirrors(tx); !ok {
+		t.Fatal(msg)
+	}
+	if tx.Index.Len() != 300+240 {
+		t.Fatalf("final table has %d items, want %d", tx.Index.Len(), 300+240)
 	}
 }
 
