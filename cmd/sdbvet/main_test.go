@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -26,7 +27,10 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"atomicfield", "ctxpoll", "floateq", "maporder", "metriclabel"} {
+	for _, name := range []string{
+		"atomicfield", "ctxpoll", "floateq", "fsyncorder", "lockorder",
+		"maporder", "metriclabel", "publishmut", "unlockpath",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout)
 		}
@@ -93,5 +97,62 @@ func TestBadPatternIsUsageError(t *testing.T) {
 	code, _, _ := runVet(t, "./no/such/dir")
 	if code != 2 {
 		t.Fatalf("bad pattern exited %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := runVet(t, "-json", floateqCorpus)
+	if code != 1 {
+		t.Fatalf("-json on seeded corpus exited %d, want 1 (exit codes must not change)", code)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 JSON diagnostics, got %d:\n%s", len(lines), stdout)
+	}
+	for _, line := range lines {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer != "floateq" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		// Stable field order: struct order is encoding order.
+		if !strings.HasPrefix(line, `{"file":`) {
+			t.Errorf("field order changed, line starts: %.40s", line)
+		}
+	}
+	// A clean package emits no output and exits zero under -json too.
+	code, stdout, _ = runVet(t, "-json", cleanCorpus)
+	if code != 0 || stdout != "" {
+		t.Errorf("-json clean corpus: code=%d stdout=%q", code, stdout)
+	}
+}
+
+func TestStaleIgnoresFlag(t *testing.T) {
+	const staleCorpus = "./internal/lint/testdata/src/staleignore"
+	// Without the flag the stale directive is invisible.
+	code, stdout, _ := runVet(t, staleCorpus)
+	if code != 0 || stdout != "" {
+		t.Fatalf("without -stale-ignores: code=%d stdout=%q", code, stdout)
+	}
+	// With it, the dead suppression is a finding and fails the run.
+	code, stdout, _ = runVet(t, "-stale-ignores", staleCorpus)
+	if code != 1 {
+		t.Fatalf("-stale-ignores exited %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "stale //lint:ignore floateq") {
+		t.Errorf("stdout missing stale-directive report:\n%s", stdout)
+	}
+	// A directive whose analyzer did not run is not judged stale.
+	code, stdout, _ = runVet(t, "-stale-ignores", "-enable", "maporder", staleCorpus)
+	if code != 0 || stdout != "" {
+		t.Errorf("partial suite judged a directive it could not vindicate: code=%d stdout=%q", code, stdout)
 	}
 }

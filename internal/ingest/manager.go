@@ -59,16 +59,33 @@ type Manager struct {
 
 	mu     sync.Mutex
 	tables map[string]*Table
+	// opening latches in-flight lazy opens so the heavy open work (and the
+	// caller-provided Lookup callback) runs outside mu while still being paid
+	// once per table.
+	opening map[string]*tableOpen
 	// hints are tables the estimator-drift watchdog asked to re-pack: the
 	// next RepackPass treats a hinted table as degraded regardless of its
 	// tree shape. A hint survives until a successful re-pack consumes it.
 	hints map[string]bool
 }
 
+// tableOpen is one in-flight lazy open; waiters block on done, then read t
+// and err (written before done closes).
+type tableOpen struct {
+	done chan struct{}
+	t    *Table
+	err  error
+}
+
 // NewManager returns a manager with no open tables.
 func NewManager(opts Options) *Manager {
 	opts.Repack = opts.Repack.withDefaults()
-	return &Manager{opts: opts, tables: make(map[string]*Table), hints: make(map[string]bool)}
+	return &Manager{
+		opts:    opts,
+		tables:  make(map[string]*Table),
+		opening: make(map[string]*tableOpen),
+		hints:   make(map[string]bool),
+	}
 }
 
 // HintRepack flags a table for re-packing on the next pass — the
@@ -99,13 +116,42 @@ func (m *Manager) PendingHints() []string {
 
 // Table returns the mutation front for name, opening it on first use. The
 // open cost (clone index, seed histogram builder, write the WAL checkpoint)
-// is paid once per table per process.
+// is paid once per table per process: concurrent first callers rendezvous on
+// an in-flight latch, and the open itself — including the caller-provided
+// Lookup callback — runs outside m.mu so unknown code never executes inside
+// the manager's critical section. A failed open is not cached; the next
+// caller retries.
 func (m *Manager) Table(name string) (*Table, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t, ok := m.tables[name]; ok {
+		m.mu.Unlock()
 		return t, nil
 	}
+	if fl, ok := m.opening[name]; ok {
+		m.mu.Unlock()
+		<-fl.done
+		return fl.t, fl.err
+	}
+	fl := &tableOpen{done: make(chan struct{})}
+	m.opening[name] = fl
+	m.mu.Unlock()
+
+	fl.t, fl.err = m.openTable(name)
+
+	m.mu.Lock()
+	delete(m.opening, name)
+	if fl.err == nil {
+		m.tables[name] = fl.t
+	}
+	m.mu.Unlock()
+	close(fl.done)
+	return fl.t, fl.err
+}
+
+// openTable performs the heavy part of a lazy open. It must be called
+// without m.mu held: Lookup is arbitrary caller code and OpenTableOpts
+// writes a WAL checkpoint.
+func (m *Manager) openTable(name string) (*Table, error) {
 	walPath, err := m.walPath(name)
 	if err != nil {
 		return nil, err
@@ -114,12 +160,7 @@ func (m *Manager) Table(name string) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := OpenTableOpts(tbl, m.opts.Level, m.opts.tableOptions(walPath), m.opts.Publish)
-	if err != nil {
-		return nil, err
-	}
-	m.tables[name] = t
-	return t, nil
+	return OpenTableOpts(tbl, m.opts.Level, m.opts.tableOptions(walPath), m.opts.Publish)
 }
 
 // DegradedTables lists open tables currently refusing mutations (sorted) —

@@ -628,6 +628,7 @@ func (t *Table) publishSnap(seq uint64, tbl *sdb.Table) (uint64, error) {
 	if seq <= t.pubSeq && t.pubSeq > 0 {
 		return t.pubGen, nil
 	}
+	//lint:ignore lockorder pubMu exists to order publish handoffs by WAL seq; the callee is the store's snapshot installer, which takes only Store.mu and never re-enters the ingest layer
 	gen, err := t.publish(tbl)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,211 @@
+package cfg
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden dumps from current builder output")
+
+// TestGoldenDumps pins the block/edge structure of the representative shapes
+// in testdata/funcs.go: nested loops, select, defer+panic, labeled
+// break/continue/goto, switch with fallthrough, type switch.
+func TestGoldenDumps(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filepath.Join("testdata", "funcs.go"), nil, 0)
+	if err != nil {
+		t.Fatalf("parse corpus: %v", err)
+	}
+	var dumps []string
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := New(fd.Name.Name, fd.Body)
+		checkWellFormed(t, "testdata/funcs.go", g)
+		dumps = append(dumps, g.Dump(fset))
+	}
+	got := strings.Join(dumps, "\n")
+	golden := filepath.Join("testdata", "funcs.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dump mismatch\n--- got ---\n%s--- want (%s) ---\n%s", got, golden, want)
+	}
+}
+
+// TestEngineFunctionsBuildWellFormedCFGs is the meta-test: every function in
+// internal/rtree and internal/ingest (the packages the flow-sensitive
+// analyzers lean on hardest) must build a graph with a single entry, no
+// dangling edges, and symmetric succ/pred lists.
+func TestEngineFunctionsBuildWellFormedCFGs(t *testing.T) {
+	for _, dir := range []string{"../../rtree", "../../ingest"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		funcs := 0
+		for _, de := range entries {
+			if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, de.Name())
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				g := New(fd.Name.Name, fd.Body)
+				checkWellFormed(t, path+":"+fd.Name.Name, g)
+				funcs++
+			}
+		}
+		if funcs == 0 {
+			t.Errorf("no functions found under %s: meta-test is vacuous", dir)
+		}
+	}
+}
+
+// checkWellFormed asserts the structural invariants every analyzer assumes.
+func checkWellFormed(t *testing.T, what string, g *Graph) {
+	t.Helper()
+	if len(g.Blocks) < 2 || g.Blocks[0] != g.Entry || g.Blocks[1] != g.Exit {
+		t.Fatalf("%s: blocks not rooted at entry/exit", what)
+	}
+	if len(g.Entry.Preds) != 0 {
+		t.Errorf("%s: entry block has predecessors", what)
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Errorf("%s: exit block has successors", what)
+	}
+	index := map[*Block]bool{}
+	for i, blk := range g.Blocks {
+		if blk.Index != i {
+			t.Errorf("%s: block %d carries index %d", what, i, blk.Index)
+		}
+		index[blk] = true
+	}
+	contains := func(list []*Block, b *Block) bool {
+		for _, x := range list {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if !index[s] {
+				t.Errorf("%s: b%d has dangling successor", what, blk.Index)
+			}
+			if !contains(s.Preds, blk) {
+				t.Errorf("%s: edge b%d->b%d missing from pred list", what, blk.Index, s.Index)
+			}
+		}
+		for _, p := range blk.Preds {
+			if !index[p] {
+				t.Errorf("%s: b%d has dangling predecessor", what, blk.Index)
+			}
+			if !contains(p.Succs, blk) {
+				t.Errorf("%s: edge b%d<-b%d missing from succ list", what, blk.Index, p.Index)
+			}
+		}
+		// Reachable non-exit blocks must go somewhere: terminators edge to
+		// Exit, everything else falls through.
+		if blk != g.Exit && len(blk.Succs) == 0 && (blk == g.Entry || len(blk.Preds) > 0) {
+			t.Errorf("%s: reachable block b%d (%s) has no successors", what, blk.Index, blk.Kind)
+		}
+	}
+}
+
+// TestForwardFixpoint drives the dataflow engine over a loop: a fact set
+// seeded in the loop body must flow around the back edge and reach every
+// block after the loop, and the engine must stabilize.
+func TestForwardFixpoint(t *testing.T) {
+	const src = `package p
+func f(n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += i
+	}
+	return acc
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New("f", f.Decls[0].(*ast.FuncDecl).Body)
+	lat := Lattice[map[string]bool]{
+		Bottom: func() map[string]bool { return map[string]bool{} },
+		Clone: func(m map[string]bool) map[string]bool {
+			c := make(map[string]bool, len(m))
+			for k := range m {
+				c[k] = true
+			}
+			return c
+		},
+		Join: func(a, b map[string]bool) map[string]bool {
+			for k := range b {
+				a[k] = true
+			}
+			return a
+		},
+		Equal: func(a, b map[string]bool) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	// Transfer: any block containing an assignment gains the fact "wrote".
+	in := Forward(g, lat, map[string]bool{}, func(blk *Block, f map[string]bool) map[string]bool {
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				f["wrote"] = true
+			}
+		}
+		return f
+	})
+	if !in[g.Exit]["wrote"] {
+		t.Errorf("fact seeded before exit did not reach exit: %v", in[g.Exit])
+	}
+	// The loop body's entry fact must include the fact from its own previous
+	// iteration (flowed around the back edge).
+	var body *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "for.body" {
+			body = blk
+		}
+	}
+	if body == nil {
+		t.Fatal("no for.body block")
+	}
+	if !in[body]["wrote"] {
+		t.Errorf("fact did not propagate around the loop back edge: %v", in[body])
+	}
+}

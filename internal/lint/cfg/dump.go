@@ -1,0 +1,51 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph as deterministic text for golden tests: one header
+// per block in index order, each node printed source-like with whitespace
+// collapsed, and the successor list. The output contains no file positions,
+// so goldens survive edits elsewhere in the corpus file.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s\n", g.Name)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "b%d %s\n", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&b, "\t%s\n", nodeSummary(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			b.WriteString("\t-> ")
+			for i, s := range blk.Succs {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "b%d", s.Index)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// nodeSummary prints a node on one line, truncated so goldens stay readable
+// even for bulky composite literals.
+func nodeSummary(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	const max = 80
+	if len(s) > max {
+		s = s[:max] + "…"
+	}
+	return s
+}

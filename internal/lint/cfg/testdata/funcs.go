@@ -1,0 +1,100 @@
+// Package funcs is cfg-test corpus: representative control-flow shapes whose
+// block/edge structure is pinned by golden dumps (run the cfg tests with
+// -update to regenerate).
+package funcs
+
+import "errors"
+
+// nestedLoops exercises for-with-post inside range, early continue/break.
+func nestedLoops(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		for i := 0; i < len(row); i++ {
+			if row[i] < 0 {
+				break
+			}
+			total += row[i]
+		}
+	}
+	return total
+}
+
+// selects exercises select with send, receive, and default clauses.
+func selects(in <-chan int, out chan<- int) int {
+	for {
+		select {
+		case v := <-in:
+			if v == 0 {
+				return v
+			}
+		case out <- 1:
+		default:
+			return -1
+		}
+	}
+}
+
+// deferred exercises defer, early return, and explicit panic.
+func deferred(ok bool) error {
+	defer release()
+	if !ok {
+		return errors.New("not ok")
+	}
+	if tooDeep() {
+		panic("depth")
+	}
+	return nil
+}
+
+// labeled exercises labeled break/continue and a backward goto.
+func labeled(grid [][]bool) int {
+	hits := 0
+retry:
+	for y := range grid {
+	row:
+		for x := range grid[y] {
+			switch {
+			case grid[y][x]:
+				hits++
+			case x > 8:
+				continue retry
+			default:
+				break row
+			}
+		}
+		if hits > 100 {
+			goto retry
+		}
+	}
+	return hits
+}
+
+// switches exercises tag switch with fallthrough and a type switch.
+func switches(v any) string {
+	mode := ""
+	switch n := v.(type) {
+	case int:
+		if n > 0 {
+			mode = "pos"
+		}
+	case string:
+		mode = n
+	default:
+		mode = "other"
+	}
+	switch mode {
+	case "pos":
+		fallthrough
+	case "neg":
+		return "signed"
+	case "other":
+		return "unknown"
+	}
+	return mode
+}
+
+func release()      {}
+func tooDeep() bool { return false }

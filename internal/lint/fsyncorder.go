@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"spatialsel/internal/lint/cfg"
+)
+
+// fsyncOrderScopes restricts the analyzer to the durability-critical
+// packages: the WAL-backed ingest path and the injectable filesystem under
+// it. The "lint/testdata" entry keeps the analyzer testable against its
+// corpus without widening the production scope.
+var fsyncOrderScopes = []string{
+	"internal/ingest",
+	"internal/faultfs",
+	"lint/testdata",
+}
+
+// File-handle dataflow states. Severity orders the join: a path on which the
+// handle may carry unsynced writes dominates one where it was fsynced.
+const (
+	fsSynced = iota // no writes since the last successful-looking Sync
+	fsClean         // opened, nothing written yet
+	fsDirty         // written since open or since the last Sync
+)
+
+// FsyncOrder returns the fsyncorder analyzer.
+//
+// Invariant: the WAL's durability protocol is write → Sync → Rename, with
+// every Sync and write-path Close error handled. The temp+fsync+rename
+// checkpoint rewrite only guarantees "old state or new state, never torn"
+// if the rename can never land before the data it publishes is on disk —
+// a Rename reachable while writes are unsynced silently downgrades crash
+// recovery, and a discarded fsync error acknowledges batches the disk never
+// accepted.
+//
+// Mechanics: a forward dataflow over the function's CFG tracks every file
+// handle opened in the function (Create/OpenFile/CreateTemp on any
+// filesystem value, os or faultfs alike). Write-ish method calls — or
+// passing the handle to another function — mark it dirty; Sync marks it
+// synced; Close retires it. At every Rename call, any handle that may still
+// be dirty is reported. Independently, a Sync whose error is discarded
+// (statement position, blank assign, or defer) is reported anywhere in
+// scope, and a non-deferred Close with a discarded error is reported while
+// the handle may be dirty — unless the same block removes the file, the
+// error-path cleanup idiom where durability is moot because the file is
+// being thrown away.
+func FsyncOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "fsyncorder",
+		Doc:  "WAL durability order: write → Sync → Rename, with Sync/Close errors handled",
+	}
+	a.Run = func(pass *Pass) {
+		if !pkgPathHasAny(pass.Path, fsyncOrderScopes) {
+			return
+		}
+		for _, fn := range functionBodies(pass) {
+			checkFsyncOrder(pass, fn)
+		}
+	}
+	return a
+}
+
+// fsFactLattice is the handle-state domain: tracked handle → worst-case
+// state across merged paths.
+func fsFactLattice() cfg.Lattice[map[types.Object]int] {
+	return cfg.Lattice[map[types.Object]int]{
+		Bottom: func() map[types.Object]int { return map[types.Object]int{} },
+		Clone: func(m map[types.Object]int) map[types.Object]int {
+			c := make(map[types.Object]int, len(m))
+			for k, v := range m {
+				c[k] = v
+			}
+			return c
+		},
+		Join: func(a, b map[types.Object]int) map[types.Object]int {
+			for k, v := range b {
+				if w, ok := a[k]; !ok || v > w {
+					a[k] = v
+				}
+			}
+			return a
+		},
+		Equal: func(a, b map[types.Object]int) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || v != w {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+func checkFsyncOrder(pass *Pass, fn fnBody) {
+	g := buildCFG(fn)
+	lat := fsFactLattice()
+	transfer := func(blk *cfg.Block, f map[types.Object]int) map[types.Object]int {
+		for _, n := range blk.Nodes {
+			fsTransferNode(pass, n, f, nil)
+		}
+		return f
+	}
+	in := cfg.Forward(g, lat, map[types.Object]int{}, transfer)
+	exempt := removeExemptCloses(fn.body)
+	for _, blk := range g.Blocks {
+		f := lat.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			fsTransferNode(pass, n, f, &fsReporter{pass: pass, fn: fn.name, exempt: exempt, node: n})
+		}
+	}
+}
+
+// fsReporter carries the reporting context of the final pass; nil during the
+// fixpoint rounds.
+type fsReporter struct {
+	pass   *Pass
+	fn     string
+	exempt map[*ast.CallExpr]bool
+	node   ast.Node
+}
+
+// fsTransferNode applies one CFG node to the handle-state fact, reporting
+// violations when rep is non-nil.
+func fsTransferNode(pass *Pass, n ast.Node, f map[types.Object]int, rep *fsReporter) {
+	// defer f.Close()/f.Sync() runs at exit, not here; its discarded error is
+	// the sanctioned backstop idiom (the explicit success-path call carries
+	// the checked error), so defers neither change state nor get reported —
+	// except a deferred Sync, which is always a discarded durability error.
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if rep != nil {
+			if name := calleeName(d.Call); name == "Sync" && isFileMethod(pass, d.Call, "Sync") {
+				rep.pass.Reportf(d.Call.Pos(),
+					"%s defers %s.Sync(), discarding the fsync error; durability failures must be handled on the spot",
+					rep.fn, exprText(d.Call.Fun.(*ast.SelectorExpr).X))
+			}
+		}
+		return
+	}
+
+	// Handle creation: f, err := fs.Create(...) / os.OpenFile(...).
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isHandleOpen(pass, call) {
+			if len(as.Lhs) >= 1 {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						f[obj] = fsClean
+					} else if obj := pass.Info.Uses[id]; obj != nil {
+						f[obj] = fsClean
+					}
+				}
+			}
+		}
+	}
+
+	for _, call := range shallowCalls(n) {
+		name := calleeName(call)
+		// Receiver-based state changes on tracked handles.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if obj := rootObject(pass, sel.X); obj != nil {
+				if _, tracked := f[obj]; tracked {
+					switch name {
+					case "Write", "WriteString", "WriteAt", "ReadFrom":
+						f[obj] = fsDirty
+						continue
+					case "Sync":
+						if rep != nil && discardsResult(rep.node, call) {
+							rep.pass.Reportf(call.Pos(),
+								"%s discards the error of %s.Sync(); a failed fsync means the data is not durable",
+								rep.fn, exprText(sel.X))
+						}
+						f[obj] = fsSynced
+						continue
+					case "Close":
+						if rep != nil && f[obj] == fsDirty && discardsResult(rep.node, call) && !rep.exempt[call] {
+							rep.pass.Reportf(call.Pos(),
+								"%s discards the error of %s.Close() while it may hold unsynced writes; on the write path Close errors are data loss",
+								rep.fn, exprText(sel.X))
+						}
+						// Close does not fsync: a dirty handle stays dirty so a
+						// later Rename is still seen as premature.
+						if f[obj] != fsDirty {
+							delete(f, obj)
+						}
+						continue
+					}
+				}
+			}
+		}
+		// Sync with a discarded error is reported even on untracked handles
+		// (fields, parameters): fsync exists only for durability.
+		if name == "Sync" && isFileMethod(pass, call, "Sync") {
+			if rep != nil && discardsResult(rep.node, call) {
+				rep.pass.Reportf(call.Pos(),
+					"%s discards the error of %s; a failed fsync means the data is not durable",
+					rep.fn, exprText(call.Fun))
+			}
+		}
+		// Rename publishes: nothing reachable here may be dirty.
+		if name == "Rename" {
+			if rep != nil {
+				for _, obj := range sortedObjs(f) {
+					if f[obj] == fsDirty {
+						rep.pass.Reportf(call.Pos(),
+							"%s reaches Rename while writes to %s are not fsynced; durability order is write → Sync → Rename",
+							rep.fn, obj.Name())
+					}
+				}
+			}
+			continue
+		}
+		// Passing a tracked handle to another function may write to it.
+		for _, arg := range call.Args {
+			if obj := rootObject(pass, arg); obj != nil {
+				if _, tracked := f[obj]; tracked {
+					f[obj] = fsDirty
+				}
+			}
+		}
+	}
+}
+
+// isHandleOpen recognizes calls that open a writable file handle: a callee
+// named Create/OpenFile/CreateTemp whose first result type carries a Sync
+// method (os.File, faultfs.File, and friends).
+func isHandleOpen(pass *Pass, call *ast.CallExpr) bool {
+	switch calleeName(call) {
+	case "Create", "OpenFile", "CreateTemp":
+	default:
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(0).Type()
+	}
+	return hasMethod(t, "Sync")
+}
+
+// isFileMethod reports whether the call is a method call of the given name
+// on a value whose type has that method alongside Write (so bytes.Buffer
+// et al. do not qualify as files).
+func isFileMethod(pass *Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return hasMethod(tv.Type, "Sync") && hasMethod(tv.Type, "Write")
+}
+
+// hasMethod reports whether the type's method set (value or pointer)
+// contains a method with the given name.
+func hasMethod(t types.Type, name string) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootObject resolves an expression to the variable it denotes (through
+// parens and unary &), or nil.
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if un, ok := e.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		e = ast.Unparen(un.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Defs[id]
+}
+
+// discardsResult reports whether the call's result is thrown away inside the
+// given CFG node: the call is the whole statement, or every assignee is
+// blank.
+func discardsResult(node ast.Node, call *ast.CallExpr) bool {
+	switch s := node.(type) {
+	case *ast.ExprStmt:
+		return ast.Unparen(s.X) == call
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 && ast.Unparen(s.Rhs[0]) == call {
+			for _, l := range s.Lhs {
+				if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// removeExemptCloses marks discarded Close calls that share a statement list
+// with a Remove call: the cleanup idiom `f.Close(); fs.Remove(tmp); return
+// err` throws the file away, so its Close error carries no durability.
+func removeExemptCloses(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	exempt := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		hasRemove := false
+		for _, s := range blk.List {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && calleeName(call) == "Remove" {
+					hasRemove = true
+				}
+			}
+		}
+		if !hasRemove {
+			return true
+		}
+		for _, s := range blk.List {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && calleeName(call) == "Close" {
+					exempt[call] = true
+				}
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+// sortedObjs returns the fact's tracked handles in stable (position) order.
+func sortedObjs(f map[types.Object]int) []types.Object {
+	objs := make([]types.Object, 0, len(f))
+	for o := range f {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	return objs
+}

@@ -10,6 +10,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -17,6 +18,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one analyzer finding at a source position.
@@ -62,8 +64,12 @@ func Analyzers() []*Analyzer {
 		AtomicField(),
 		CtxPoll(),
 		FloatEq(),
+		FsyncOrder(),
+		LockOrder(),
 		MapOrder(),
 		MetricLabel(),
+		PublishMut(),
+		UnlockPath(),
 	}
 }
 
@@ -71,6 +77,7 @@ func Analyzers() []*Analyzer {
 type ignoreDirective struct {
 	analyzers map[string]bool // names covered; "*" covers all
 	line      int             // line the directive appears on
+	pos       token.Position  // full position, for stale-directive reports
 	used      bool
 }
 
@@ -101,7 +108,7 @@ func parseIgnores(fset *token.FileSet, f *ast.File, diags *[]Diagnostic) []*igno
 			for _, n := range strings.Split(fields[0], ",") {
 				names[n] = true
 			}
-			out = append(out, &ignoreDirective{analyzers: names, line: pos.Line})
+			out = append(out, &ignoreDirective{analyzers: names, line: pos.Line, pos: pos})
 		}
 	}
 	return out
@@ -115,10 +122,27 @@ type Result struct {
 	Suppressed  int
 }
 
+// Options tunes one Run.
+type Options struct {
+	// StaleIgnores additionally reports //lint:ignore directives that
+	// suppressed nothing — dead suppressions outlive the code they excused
+	// and silently blind the analyzer they name.
+	StaleIgnores bool
+	// Workers bounds package-level analysis parallelism; values below 2 run
+	// serially. Output is deterministic regardless: per-package results merge
+	// in input order and the final list is position-sorted.
+	Workers int
+}
+
 // Run executes the enabled analyzers over the packages and applies ignore
 // directives. Paths in the returned diagnostics are left absolute; callers
 // that want root-relative output use Relativize.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	return RunOpts(pkgs, analyzers, Options{})
+}
+
+// RunOpts is Run with explicit Options.
+func RunOpts(pkgs []*Package, analyzers []*Analyzer, opts Options) Result {
 	var res Result
 	var all []Diagnostic
 	var ignores []*ignoreDirective
@@ -132,17 +156,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 			byFile[name] = append(byFile[name], ds...)
 			ignores = append(ignores, ds...)
 		}
-		for _, a := range analyzers {
-			pass := &Pass{Package: pkg, analyzer: a, diags: &all}
-			a.Run(pass)
-		}
 	}
+	all = append(all, analyze(pkgs, analyzers, opts.Workers)...)
 	for _, d := range all {
 		if d.Analyzer != "ignore" && suppressed(byFile[d.Pos.Filename], d) {
 			res.Suppressed++
 			continue
 		}
 		res.Diagnostics = append(res.Diagnostics, d)
+	}
+	if opts.StaleIgnores {
+		res.Diagnostics = append(res.Diagnostics, staleIgnores(ignores, analyzers)...)
 	}
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i], res.Diagnostics[j]
@@ -158,6 +182,97 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 		return a.Analyzer < b.Analyzer
 	})
 	return res
+}
+
+// analyze runs every analyzer over every package, fanning packages out over
+// workers goroutines. Each package gets its own diagnostic slice, and the
+// slices merge in input order, so the result is identical to a serial run.
+// Analyzers carry no cross-package state (each Run reads only its Pass), and
+// the shared token.FileSet is safe for concurrent position lookups.
+func analyze(pkgs []*Package, analyzers []*Analyzer, workers int) []Diagnostic {
+	perPkg := make([][]Diagnostic, len(pkgs))
+	runPkg := func(i int) {
+		var ds []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Package: pkgs[i], analyzer: a, diags: &ds}
+			a.Run(pass)
+		}
+		perPkg[i] = ds
+	}
+	if workers < 2 || len(pkgs) < 2 {
+		for i := range pkgs {
+			runPkg(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runPkg(i)
+				}
+			}()
+		}
+		for i := range pkgs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	var all []Diagnostic
+	for _, ds := range perPkg {
+		all = append(all, ds...)
+	}
+	return all
+}
+
+// staleIgnores reports directives that suppressed nothing. A directive is
+// only judged when this run could have vindicated it: every analyzer it
+// names ran (a "*" directive needs the full suite), otherwise the diagnostic
+// it suppresses might simply not have been looked for.
+func staleIgnores(ignores []*ignoreDirective, analyzers []*Analyzer) []Diagnostic {
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if !running[a.Name] {
+			fullSuite = false
+			break
+		}
+	}
+	var out []Diagnostic
+	for _, ig := range ignores {
+		if ig.used {
+			continue
+		}
+		judged := true
+		for name := range ig.analyzers {
+			if name == "*" {
+				judged = judged && fullSuite
+			} else {
+				judged = judged && running[name]
+			}
+		}
+		if !judged {
+			continue
+		}
+		names := make([]string, 0, len(ig.analyzers))
+		for n := range ig.analyzers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Pos:      ig.pos,
+			Analyzer: "ignore",
+			Message: fmt.Sprintf("stale //lint:ignore %s: it suppresses nothing — remove it (dead suppressions blind the analyzer they name)",
+				strings.Join(names, ",")),
+		})
+	}
+	return out
 }
 
 // suppressed reports whether an ignore directive in the diagnostic's file
@@ -190,6 +305,35 @@ func (r *Result) Write(w io.Writer) {
 	for _, d := range r.Diagnostics {
 		fmt.Fprintln(w, d.String())
 	}
+}
+
+// jsonDiagnostic fixes the field order of machine-readable output; struct
+// field order is encoding order, so the format is stable by construction.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON prints each diagnostic as one JSON object per line (JSON Lines),
+// in the same order as Write. An empty result writes nothing.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, d := range r.Diagnostics {
+		jd := jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Summary is the one-line health report `make lint` logs: scanned volume,

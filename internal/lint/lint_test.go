@@ -37,6 +37,10 @@ func TestCorpusGolden(t *testing.T) {
 		{"maporder", 5, 1},
 		{"metriclabel", 6, 1},
 		{"floateq", 5, 1},
+		{"lockorder", 3, 1},
+		{"unlockpath", 3, 1},
+		{"fsyncorder", 4, 1},
+		{"publishmut", 3, 1},
 		{"clean", 0, 0},
 	}
 	loader := corpusLoader(t)
@@ -107,7 +111,7 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Expand: %v", err)
 	}
-	pkgs, err := loader.LoadDirs(dirs)
+	pkgs, err := loader.LoadDirs(dirs, 1)
 	if err != nil {
 		t.Fatalf("LoadDirs: %v", err)
 	}
@@ -120,6 +124,64 @@ func TestRepoClean(t *testing.T) {
 	}
 	if res.Packages == 0 || res.Files == 0 {
 		t.Errorf("suspiciously empty run: %s", res.Summary())
+	}
+}
+
+// TestParallelRunMatchesSerial pins the determinism contract of Options.
+// Workers: fanning packages out over goroutines must yield byte-identical
+// output and identical suppression accounting.
+func TestParallelRunMatchesSerial(t *testing.T) {
+	loader := corpusLoader(t)
+	var pkgs []*Package
+	for _, name := range []string{
+		"ctxpoll", "atomicfield", "maporder", "metriclabel", "floateq",
+		"lockorder", "unlockpath", "fsyncorder", "publishmut", "clean",
+	} {
+		pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+		if err != nil {
+			t.Fatalf("LoadDir %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	render := func(res Result) string {
+		var buf bytes.Buffer
+		res.Write(&buf)
+		return buf.String()
+	}
+	serial := RunOpts(pkgs, Analyzers(), Options{})
+	parallel := RunOpts(pkgs, Analyzers(), Options{Workers: 8})
+	if got, want := render(parallel), render(serial); got != want {
+		t.Errorf("parallel output differs from serial\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+	}
+	if parallel.Suppressed != serial.Suppressed || parallel.Packages != serial.Packages || parallel.Files != serial.Files {
+		t.Errorf("parallel accounting differs: %s vs %s", parallel.Summary(), serial.Summary())
+	}
+}
+
+// TestLoadDirsParallel exercises the loader's concurrency path over the real
+// repository: a fresh (cold-cache) loader with many workers must load every
+// package exactly as the serial path does. Run under -race this doubles as
+// the loader's data-race test.
+func TestLoadDirsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	loader := corpusLoader(t)
+	dirs, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	pkgs, err := loader.LoadDirs(dirs, 8)
+	if err != nil {
+		t.Fatalf("LoadDirs(workers=8): %v", err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("got %d packages for %d dirs", len(pkgs), len(dirs))
+	}
+	for i, p := range pkgs {
+		if p == nil || len(p.Files) == 0 {
+			t.Errorf("package %d (%s) loaded empty", i, dirs[i])
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and type-checked package: the unit the
@@ -29,14 +30,33 @@ type Package struct {
 // Loader parses and type-checks packages of a single module using only the
 // standard library: module-internal imports are resolved against the module
 // root, everything else falls back to the stdlib source importer.
+//
+// The loader is safe for concurrent LoadDir/LoadDirs calls: the memoization
+// caches are mutex-guarded with per-package in-flight latches (two
+// goroutines importing the same package rendezvous instead of checking it
+// twice), the shared token.FileSet is concurrency-safe by contract, and the
+// stdlib fallback importer — which is not — is serialized separately.
 type Loader struct {
 	Root    string // module root (directory containing go.mod)
 	ModPath string // module path from go.mod
 
-	fset     *token.FileSet
+	fset *token.FileSet
+
+	mu       sync.Mutex
 	cache    map[string]*Package // by import path
+	loading  map[string]*loadLatch
 	typCache map[string]*types.Package
+
+	fbMu     sync.Mutex // serializes the stdlib source importer
 	fallback types.ImporterFrom
+}
+
+// loadLatch is one in-flight package load; waiters block on done, then read
+// p and err (written before done closes).
+type loadLatch struct {
+	done chan struct{}
+	p    *Package
+	err  error
 }
 
 // NewLoader locates the enclosing module of dir and returns a loader for it.
@@ -51,6 +71,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModPath:  modPath,
 		fset:     fset,
 		cache:    make(map[string]*Package),
+		loading:  make(map[string]*loadLatch),
 		typCache: make(map[string]*types.Package),
 		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 	}, nil
@@ -149,15 +170,39 @@ func (l *Loader) importPath(dir string) (string, error) {
 	return l.ModPath + "/" + filepath.ToSlash(rel), nil
 }
 
-// LoadDirs loads every directory as one package each, in order.
-func (l *Loader) LoadDirs(dirs []string) ([]*Package, error) {
-	pkgs := make([]*Package, 0, len(dirs))
-	for _, dir := range dirs {
-		p, err := l.LoadDir(dir)
+// LoadDirs loads every directory as one package each, in order, fanning the
+// loads out over workers goroutines when workers > 1. The returned slice is
+// in input order either way; on failure the error of the earliest failing
+// directory is returned.
+func (l *Loader) LoadDirs(dirs []string, workers int) ([]*Package, error) {
+	pkgs := make([]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	if workers < 2 || len(dirs) < 2 {
+		for i, dir := range dirs {
+			pkgs[i], errs[i] = l.LoadDir(dir)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					pkgs[i], errs[i] = l.LoadDir(dirs[i])
+				}
+			}()
+		}
+		for i := range dirs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
 }
@@ -177,10 +222,39 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 }
 
 // load is the memoized parse+check core shared by LoadDir and the importer.
+// Concurrent loads of the same package rendezvous on an in-flight latch; the
+// loser blocks until the winner's result lands in the cache. Waiting holds no
+// lock, and the module import graph is acyclic, so latch waits cannot cycle.
 func (l *Loader) load(path, dir string) (*Package, error) {
+	l.mu.Lock()
 	if p, ok := l.cache[path]; ok {
+		l.mu.Unlock()
 		return p, nil
 	}
+	if fl, ok := l.loading[path]; ok {
+		l.mu.Unlock()
+		<-fl.done
+		return fl.p, fl.err
+	}
+	fl := &loadLatch{done: make(chan struct{})}
+	l.loading[path] = fl
+	l.mu.Unlock()
+
+	fl.p, fl.err = l.loadUncached(path, dir)
+
+	l.mu.Lock()
+	delete(l.loading, path)
+	if fl.err == nil {
+		l.cache[path] = fl.p
+	}
+	l.mu.Unlock()
+	close(fl.done)
+	return fl.p, fl.err
+}
+
+// loadUncached parses and type-checks one package. Called without l.mu held:
+// type-checking recurses into load for module-internal imports.
+func (l *Loader) loadUncached(path, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -211,9 +285,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	p := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
-	l.cache[path] = p
-	return p, nil
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // moduleImporter adapts the loader into a types.Importer: module-internal
@@ -227,7 +299,10 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 
 func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	l := (*Loader)(m)
-	if tp, ok := l.typCache[path]; ok {
+	l.mu.Lock()
+	tp, ok := l.typCache[path]
+	l.mu.Unlock()
+	if ok {
 		return tp, nil
 	}
 	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
@@ -236,13 +311,28 @@ func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*t
 		if err != nil {
 			return nil, err
 		}
+		l.mu.Lock()
 		l.typCache[path] = p.Types
+		l.mu.Unlock()
 		return p.Types, nil
 	}
+	// The stdlib source importer is not concurrency-safe; serialize it and
+	// re-check the cache once inside so a contended package imports once.
+	l.fbMu.Lock()
+	l.mu.Lock()
+	tp, ok = l.typCache[path]
+	l.mu.Unlock()
+	if ok {
+		l.fbMu.Unlock()
+		return tp, nil
+	}
 	tp, err := l.fallback.ImportFrom(path, dir, mode)
+	l.fbMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	l.mu.Lock()
 	l.typCache[path] = tp
+	l.mu.Unlock()
 	return tp, nil
 }

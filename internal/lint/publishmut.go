@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spatialsel/internal/lint/cfg"
+)
+
+// publishMutTypes are the named types whose values are immutable once built:
+// the packed R-tree snapshot that readers traverse without locks, plus the
+// corpus stand-in that keeps the rule testable. Matching is by suffix of the
+// fully qualified type name.
+var publishMutTypes = []string{
+	"internal/rtree.Packed",
+	"publishmut.Snapshot",
+}
+
+// PublishMut returns the publishmut analyzer.
+//
+// Invariant: a snapshot handed to Store.Publish (or any publisher) is frozen.
+// Readers reach published snapshots through an atomic swap with no lock, so
+// the only thing making concurrent traversal safe is that nobody writes to a
+// snapshot after the handoff. A post-publish field write is a data race that
+// no test reliably catches — it corrupts whatever request happens to be
+// walking the tree.
+//
+// Two rules, both flow-sensitive where it matters:
+//
+//   - Handoff tracking: once a local value is passed to a callee whose name
+//     starts with "publish" (Store.Publish, Manager publish callbacks,
+//     Table.publishSnap), any later write through it — field assignment,
+//     element store, increment — on any path is reported. Rebinding the
+//     variable to a fresh value clears the taint.
+//
+//   - Frozen types: writes through a value of a registered immutable type
+//     (rtree.Packed) are reported anywhere, except inside the type's own
+//     package in functions whose name starts with "pack" — the builder is
+//     the one place mutation is legitimate, and it runs before the value
+//     escapes.
+func PublishMut() *Analyzer {
+	a := &Analyzer{
+		Name: "publishmut",
+		Doc:  "no writes to published snapshots or frozen snapshot types after handoff",
+	}
+	a.Run = func(pass *Pass) {
+		for _, fn := range functionBodies(pass) {
+			checkPublishMut(pass, fn)
+		}
+	}
+	return a
+}
+
+func checkPublishMut(pass *Pass, fn fnBody) {
+	g := buildCFG(fn)
+	lat := publishedLattice()
+	transfer := func(blk *cfg.Block, f map[types.Object]token.Pos) map[types.Object]token.Pos {
+		for _, n := range blk.Nodes {
+			publishTransferNode(pass, fn, n, f, false)
+		}
+		return f
+	}
+	in := cfg.Forward(g, lat, map[types.Object]token.Pos{}, transfer)
+	for _, blk := range g.Blocks {
+		f := lat.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			publishTransferNode(pass, fn, n, f, true)
+		}
+	}
+}
+
+// publishedLattice is the taint domain: variable → position of the earliest
+// publish call that may have exported it. Union join keeps the may-published
+// semantics.
+func publishedLattice() cfg.Lattice[map[types.Object]token.Pos] {
+	return cfg.Lattice[map[types.Object]token.Pos]{
+		Bottom: func() map[types.Object]token.Pos { return map[types.Object]token.Pos{} },
+		Clone: func(m map[types.Object]token.Pos) map[types.Object]token.Pos {
+			c := make(map[types.Object]token.Pos, len(m))
+			for k, v := range m {
+				c[k] = v
+			}
+			return c
+		},
+		Join: func(a, b map[types.Object]token.Pos) map[types.Object]token.Pos {
+			for k, v := range b {
+				if w, ok := a[k]; !ok || v < w {
+					a[k] = v
+				}
+			}
+			return a
+		},
+		Equal: func(a, b map[types.Object]token.Pos) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || v != w {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// publishTransferNode applies one CFG node to the published-variable taint
+// set, reporting violations when report is true.
+func publishTransferNode(pass *Pass, fn fnBody, n ast.Node, f map[types.Object]token.Pos, report bool) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			checkWriteTarget(pass, fn, lhs, f, report)
+		}
+		// A bare rebind (`snap = newSnap()`) points the variable at a fresh
+		// value; the published one is no longer reachable through it.
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if obj := rootObject(pass, id); obj != nil {
+					delete(f, obj)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		checkWriteTarget(pass, fn, s.X, f, report)
+	}
+	for _, call := range shallowCalls(n) {
+		if !isPublishCall(call) {
+			continue
+		}
+		for _, arg := range call.Args {
+			obj := rootObject(pass, arg)
+			if obj == nil || !publishableType(obj.Type()) {
+				continue
+			}
+			if _, ok := f[obj]; !ok {
+				f[obj] = call.Pos()
+			}
+		}
+	}
+}
+
+// checkWriteTarget reports a write whose target is (a) rooted at a published
+// variable or (b) reached through a frozen snapshot type.
+func checkWriteTarget(pass *Pass, fn fnBody, lhs ast.Expr, f map[types.Object]token.Pos, report bool) {
+	if !report {
+		return
+	}
+	lhs = ast.Unparen(lhs)
+	// Only writes *through* a value mutate shared state; a bare ident write
+	// is a rebind, handled by the caller.
+	root, ok := writeRoot(lhs)
+	if !ok {
+		return
+	}
+	if obj := rootObject(pass, root); obj != nil {
+		if pubPos, published := f[obj]; published {
+			pass.Reportf(lhs.Pos(),
+				"%s writes to %s after it was handed to a publish call at %s; published snapshots are frozen — concurrent readers hold no lock",
+				fn.name, exprText(lhs), shortPos(pass, pubPos))
+			return
+		}
+	}
+	// Frozen-type rule: any prefix of the target path typed as a registered
+	// immutable snapshot type.
+	for e := lhs; ; {
+		var inner ast.Expr
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			inner = x.X
+		case *ast.IndexExpr:
+			inner = x.X
+		case *ast.StarExpr:
+			inner = x.X
+		default:
+			return
+		}
+		inner = ast.Unparen(inner)
+		if tv, ok := pass.Info.Types[inner]; ok && frozenSnapshotType(tv.Type) {
+			if packBuilderExempt(pass, fn, tv.Type) {
+				return
+			}
+			pass.Reportf(lhs.Pos(),
+				"%s writes to %s through frozen snapshot type %s; packed snapshots are immutable after construction — build a new one instead",
+				fn.name, exprText(lhs), typeDisplay(tv.Type))
+			return
+		}
+		e = inner
+	}
+}
+
+// writeRoot walks a write target (x.f, x[i], (*p).f, chains thereof) down to
+// its root expression; ok is false for bare idents and anything else that is
+// not a write through a value.
+func writeRoot(e ast.Expr) (ast.Expr, bool) {
+	through := false
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e, through = x.X, true
+		case *ast.IndexExpr:
+			e, through = x.X, true
+		case *ast.StarExpr:
+			e, through = x.X, true
+		default:
+			return e, through
+		}
+	}
+}
+
+// isPublishCall reports whether the callee's name marks a snapshot handoff.
+func isPublishCall(call *ast.CallExpr) bool {
+	return strings.HasPrefix(strings.ToLower(calleeName(call)), "publish")
+}
+
+// publishableType reports whether handing a value of this type to a publisher
+// shares mutable state: pointers, slices, and maps (and named forms thereof).
+func publishableType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// frozenSnapshotType reports whether t (or its pointee) is a registered
+// immutable snapshot type.
+func frozenSnapshotType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, want := range publishMutTypes {
+		if strings.HasSuffix(full, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// packBuilderExempt allows mutation of a frozen type inside its own package
+// when the enclosing function is the builder (name prefixed "pack",
+// case-insensitively — Pack, packLevel, …): construction happens before the
+// value escapes.
+func packBuilderExempt(pass *Pass, fn fnBody, t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg() != pass.Types {
+		return false
+	}
+	name := fn.name
+	if i := strings.LastIndex(name, "."); i >= 0 {
+		name = name[i+1:]
+	}
+	return strings.HasPrefix(strings.ToLower(fn.name), "pack") ||
+		strings.HasPrefix(strings.ToLower(name), "pack")
+}
+
+// typeDisplay renders a type name for diagnostics without the full import
+// path.
+func typeDisplay(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil {
+			return pkg.Name() + "." + named.Obj().Name()
+		}
+		return named.Obj().Name()
+	}
+	return t.String()
+}

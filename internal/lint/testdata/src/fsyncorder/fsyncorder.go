@@ -1,0 +1,87 @@
+// Package fsyncorder is lint-test corpus: seeded violations and clean cases
+// for the fsyncorder analyzer. The shapes mirror the WAL's checkpoint
+// rewrite: temp file, write, fsync, close, rename.
+package fsyncorder
+
+import "os"
+
+// writeRenameNoSync publishes the temp file without fsyncing it first — a
+// crash after the rename can leave the published file empty. (violation)
+func writeRenameNoSync(dir string, data []byte) error {
+	tmp := dir + "/state.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, dir+"/state") // want fsyncorder (rename before Sync)
+}
+
+// flushNoCheck drops the fsync error, acknowledging data the disk may have
+// rejected. (violation)
+func flushNoCheck(f *os.File, data []byte) {
+	if _, err := f.Write(data); err != nil {
+		return
+	}
+	f.Sync() // want fsyncorder (discarded fsync error)
+}
+
+// appendQuick discards the Close error while the handle still carries
+// unsynced writes. (violation)
+func appendQuick(path string, data []byte) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	if _, err := f.Write(data); err != nil {
+		return
+	}
+	f.Close() // want fsyncorder (discarded Close error on the write path)
+}
+
+// logEverything defers the Sync, which throws its error away. (violation)
+func logEverything(f *os.File, line []byte) error {
+	defer f.Sync() // want fsyncorder (deferred Sync discards the error)
+	_, err := f.Write(line)
+	return err
+}
+
+// writeDurable is the full correct protocol: write, Sync, Close, Rename,
+// every error checked, error-path cleanup removing the temp file. (clean)
+func writeDurable(dir string, data []byte) error {
+	tmp := dir + "/state.tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, dir+"/state")
+}
+
+// bestEffortFlush documents a sanctioned fire-and-forget fsync. (clean:
+// suppressed)
+func bestEffortFlush(f *os.File) {
+	//lint:ignore fsyncorder corpus: best-effort flush on shutdown, error surfaced by the final Close
+	f.Sync()
+}

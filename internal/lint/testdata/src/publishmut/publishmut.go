@@ -1,0 +1,74 @@
+// Package publishmut is lint-test corpus: seeded violations and clean cases
+// for the publishmut analyzer. Snapshot stands in for rtree.Packed: frozen
+// after its pack-prefixed builder returns.
+package publishmut
+
+// Snapshot is immutable once built (registered as a frozen snapshot type).
+type Snapshot struct {
+	ids []uint64
+	n   int
+}
+
+// batch is an ordinary mutable value until it is handed to a publisher.
+type batch struct {
+	rows []int
+	seq  uint64
+}
+
+var current *Snapshot
+
+// publishBatch stands in for Store.Publish: after this call the argument is
+// shared with concurrent readers.
+func publishBatch(b *batch) {}
+
+// publishSnapshot installs a snapshot for lock-free readers.
+func publishSnapshot(s *Snapshot) { current = s }
+
+// packSnapshot is the builder: mutation before the value escapes is the one
+// legitimate place to write Snapshot fields. (clean: pack-prefixed)
+func packSnapshot(ids []uint64) *Snapshot {
+	s := &Snapshot{}
+	s.ids = ids
+	s.n = len(ids)
+	return s
+}
+
+// badWriteAfterPublish mutates a batch after handing it off. (violation)
+func badWriteAfterPublish() {
+	b := &batch{rows: []int{1}}
+	b.seq = 1 // before the handoff: fine
+	publishBatch(b)
+	b.seq = 2 // want publishmut (write after publish)
+}
+
+// branchPublish publishes on one path only; the later write is still a race
+// on that path. (violation)
+func branchPublish(ready bool) {
+	b := &batch{}
+	if ready {
+		publishBatch(b)
+	}
+	b.seq = 3 // want publishmut (may-published)
+}
+
+// rebindAfterPublish re-points the variable at a fresh value, so the write
+// does not touch the published one. (clean)
+func rebindAfterPublish() {
+	b := &batch{}
+	publishBatch(b)
+	b = &batch{}
+	b.seq = 1
+}
+
+// touchSnapshot writes through the frozen type outside its builder.
+// (violation)
+func touchSnapshot(s *Snapshot) {
+	s.n++ // want publishmut (frozen snapshot type)
+}
+
+// repairSnapshot documents a sanctioned single-owner mutation. (clean:
+// suppressed)
+func repairSnapshot(s *Snapshot) {
+	//lint:ignore publishmut corpus: single-owner repair before the first publish
+	s.n = 0
+}

@@ -1,0 +1,80 @@
+// Package unlockpath is lint-test corpus: seeded violations and clean cases
+// for the unlockpath analyzer.
+package unlockpath
+
+import "sync"
+
+// Cache is a mutex-guarded map.
+type Cache struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// Get leaks the lock on the miss path's early return. (violation)
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.Lock() // want unlockpath (early return below skips the Unlock)
+	v, ok := c.m[k]
+	if !ok {
+		return 0, false
+	}
+	c.mu.Unlock()
+	return v, true
+}
+
+// MustGet leaks the lock on the panic path. (violation)
+func (c *Cache) MustGet(k string) int {
+	c.mu.Lock() // want unlockpath (panic unwinds with the lock held)
+	v, ok := c.m[k]
+	if !ok {
+		panic("unlockpath corpus: missing key")
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// Peek releases the read lock on only one branch. (violation)
+func (c *Cache) Peek(k string) int {
+	c.rw.RLock() // want unlockpath (miss branch returns without RUnlock)
+	if v, ok := c.m[k]; ok {
+		c.rw.RUnlock()
+		return v
+	}
+	return 0
+}
+
+// Put balances with defer, covering every path. (clean)
+func (c *Cache) Put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[string]int{}
+	}
+	c.m[k] = v
+}
+
+// Drain unlocks explicitly on both branches. (clean)
+func (c *Cache) Drain() int {
+	c.mu.Lock()
+	if len(c.m) == 0 {
+		c.mu.Unlock()
+		return 0
+	}
+	n := len(c.m)
+	c.m = map[string]int{}
+	c.mu.Unlock()
+	return n
+}
+
+// LockForScan deliberately hands the held lock to the caller. (clean:
+// suppressed)
+func (c *Cache) LockForScan() {
+	//lint:ignore unlockpath corpus: deliberate handoff, caller must invoke UnlockScan
+	c.mu.Lock()
+}
+
+// UnlockScan releases a lock acquired by LockForScan. (clean: release-only
+// is not an obligation)
+func (c *Cache) UnlockScan() {
+	c.mu.Unlock()
+}

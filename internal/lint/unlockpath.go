@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/token"
+
+	"spatialsel/internal/lint/cfg"
+)
+
+// UnlockPath returns the unlockpath analyzer.
+//
+// Invariant: every mutex acquisition must be released on every control-flow
+// path to the function's exit — the normal return, every early return, and
+// the unwind of an explicit panic. A path that leaves the function with the
+// lock held wedges every later user of that mutex; under the server's
+// request concurrency that is not a slow leak but an immediate pile-up
+// behind one stuck critical section.
+//
+// Mechanics: a forward dataflow over the function's CFG tracks the set of
+// may-held locks. Lock()/RLock() adds an obligation, Unlock()/RUnlock()
+// removes it, and a `defer Unlock()` (directly or inside a deferred
+// closure) discharges it for the remainder of that path — deferred calls
+// run on every route to exit, panics included. Whatever survives to the
+// exit block is reported at its acquisition site. Function literals are
+// analyzed as independent functions: a goroutine body or stored callback
+// must balance its own locks.
+//
+// Lock handoffs (acquire here, release in a callee or caller) are the one
+// pattern this cannot see; the engine avoids them, and a deliberate one
+// takes a reasoned //lint:ignore.
+func UnlockPath() *Analyzer {
+	a := &Analyzer{
+		Name: "unlockpath",
+		Doc:  "every Lock() must reach an Unlock() or defer Unlock() on all paths",
+	}
+	a.Run = func(pass *Pass) {
+		for _, fn := range functionBodies(pass) {
+			g := buildCFG(fn)
+			fnName := fn.name
+			transfer := func(blk *cfg.Block, f map[string]token.Pos) map[string]token.Pos {
+				for _, n := range blk.Nodes {
+					lockTransferNode(pass, fnName, n, f, true)
+				}
+				return f
+			}
+			leaked := cfg.Forward(g, lockSetLattice(), map[string]token.Pos{}, transfer)[g.Exit]
+			for _, key := range sortedLockKeys(leaked) {
+				pass.Reportf(leaked[key],
+					"%s is locked here but not released on every path through %s (early return or panic path misses the Unlock; prefer defer)",
+					lockDisplay(key), fnName)
+			}
+		}
+	}
+	return a
+}

@@ -178,6 +178,7 @@ func (s *Span) Report() *SpanReport {
 		}
 	}
 	for _, c := range s.children {
+		//lint:ignore lockorder parent-before-child is the documented instance order: spans form a tree, a child never locks its ancestor
 		r.Children = append(r.Children, c.Report())
 	}
 	return r

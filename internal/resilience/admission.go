@@ -117,6 +117,7 @@ func (c *Controller) ReleaseShed() {
 // calibrate the cost model; elapsed vs Target drives the AIMD limit;
 // degraded marks queries the cost gate forced to serial execution.
 func (c *Controller) ReleaseDone(elapsed time.Duration, units float64, degraded bool) {
+	now := c.now() // sampled outside the critical section: the clock is an injected callee
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.inflight--
@@ -133,7 +134,7 @@ func (c *Controller) ReleaseDone(elapsed time.Duration, units float64, degraded 
 		}
 	}
 	if elapsed > c.policy.Target {
-		if now := c.now(); now.Sub(c.lastDecrease) >= c.policy.DecreaseEvery {
+		if now.Sub(c.lastDecrease) >= c.policy.DecreaseEvery {
 			c.lastDecrease = now
 			c.limit *= c.policy.DecreaseFactor
 			if c.limit < float64(c.policy.MinInflight) {

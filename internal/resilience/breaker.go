@@ -85,13 +85,14 @@ func NewBreaker(p BreakerPolicy) *Breaker {
 // then flips to HalfOpen and grants exactly one probe; subsequent callers
 // are refused until that probe reports.
 func (b *Breaker) Allow() bool {
+	now := b.now() // sampled outside the critical section: the clock is an injected callee
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
 		return true
 	case Open:
-		if b.now().Before(b.until) {
+		if now.Before(b.until) {
 			return false
 		}
 		b.state = HalfOpen
@@ -115,6 +116,7 @@ func (b *Breaker) Success() {
 // toward the trip threshold; from HalfOpen it re-opens immediately with a
 // doubled cooldown.
 func (b *Breaker) Failure() {
+	now := b.now() // sampled outside the critical section: the clock is an injected callee
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -123,20 +125,21 @@ func (b *Breaker) Failure() {
 		if b.cooldown > b.policy.MaxCooldown {
 			b.cooldown = b.policy.MaxCooldown
 		}
-		b.open()
+		b.open(now)
 	default:
 		b.fails++
 		if b.fails >= b.policy.Failures {
-			b.open()
+			b.open(now)
 		}
 	}
 }
 
-// open transitions to Open; callers hold b.mu.
-func (b *Breaker) open() {
+// open transitions to Open; callers hold b.mu and pass in the clock sample
+// they took before acquiring it.
+func (b *Breaker) open(now time.Time) {
 	b.state = Open
 	b.fails = 0
-	b.until = b.now().Add(b.cooldown)
+	b.until = now.Add(b.cooldown)
 }
 
 // State returns the breaker's current position, advancing Open → HalfOpen
@@ -151,13 +154,14 @@ func (b *Breaker) State() BreakerState {
 // zero when Closed, the remaining cooldown when Open, and the full current
 // cooldown when HalfOpen (pessimistic: assume the in-flight probe fails).
 func (b *Breaker) RetryAfter() time.Duration {
+	now := b.now() // sampled outside the critical section: the clock is an injected callee
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case Closed:
 		return 0
 	case Open:
-		if d := b.until.Sub(b.now()); d > 0 {
+		if d := b.until.Sub(now); d > 0 {
 			return d
 		}
 		return 0

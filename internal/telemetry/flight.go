@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spatialsel/internal/obs"
@@ -63,12 +64,16 @@ type FlightRecorder struct {
 	retained map[string]*obs.Counter
 	observed *obs.Counter
 
+	// fast counts fast, successful requests (the sampling cursor). Atomic so
+	// the retention decision — and span materialization for retained events —
+	// happens before mu is taken: the unretained bulk never touches the lock.
+	fast uint64
+
 	mu   sync.Mutex
 	buf  []Event
 	head int // index of the oldest retained event
 	n    int
 	seq  uint64
-	fast uint64 // fast, successful requests seen (sampling cursor)
 }
 
 // NewFlightRecorder builds a recorder. slow ≤ 0 defaults to 250ms, size to
@@ -115,7 +120,6 @@ func (f *FlightRecorder) Record(ev Event, spans func() *obs.SpanReport) bool {
 	if f.observed != nil {
 		f.observed.Inc()
 	}
-	f.mu.Lock()
 	switch {
 	case ev.Panic:
 		ev.Reason = ReasonPanic
@@ -124,16 +128,18 @@ func (f *FlightRecorder) Record(ev Event, spans func() *obs.SpanReport) bool {
 	case ev.DurationMicros >= f.slow.Microseconds():
 		ev.Reason = ReasonSlow
 	default:
-		f.fast++
-		if (f.fast-1)%f.sampleN != 0 {
-			f.mu.Unlock()
+		if (atomic.AddUint64(&f.fast, 1)-1)%f.sampleN != 0 {
 			return false
 		}
 		ev.Reason = ReasonSample
 	}
+	// Materialize the span tree before taking f.mu: the callback walks spans
+	// under their own locks, and unknown code must not run inside the
+	// recorder's critical section.
 	if spans != nil {
 		ev.Spans = spans()
 	}
+	f.mu.Lock()
 	f.seq++
 	ev.Seq = f.seq
 	if f.n < len(f.buf) {
